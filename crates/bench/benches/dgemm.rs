@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark of the blocked dgemm kernel (the MKL
+//! `cblas_dgemm` stand-in): blocked vs naive triple loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernels::dgemm::{dgemm_block, dgemm_naive};
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgemm");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for n in [32usize, 64, 128] {
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64).collect();
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, &n| {
+            let mut c = vec![0.0; n * n];
+            bench.iter(|| dgemm_block(n, &a, &b, &mut c));
+        });
+        if n <= 64 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, &n| {
+                let mut c = vec![0.0; n * n];
+                bench.iter(|| dgemm_naive(n, &a, &b, &mut c));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dgemm);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark over the scheduling strategies: a small
+//! out-of-core stencil per iteration (the kernel of Figures 5/6/8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetmem::Topology;
+use hetrt_core::{OocConfig, Placement, StrategyKind};
+use kernels::stencil::{run_stencil, StencilConfig};
+
+fn cfg(strategy: StrategyKind, placement: Placement) -> StencilConfig {
+    StencilConfig {
+        chares: (2, 2, 1),
+        block: (16, 16, 16), // 32 KiB blocks
+        iterations: 2,
+        pes: 2,
+        strategy,
+        placement,
+        // HBM holds only 2 of the 4 blocks: movement is mandatory.
+        topology: Topology::knl_flat_scaled_with(80 << 10, 96 << 20),
+        ooc: OocConfig::default(),
+        compute_passes: 2,
+    }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stencil_strategy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let cases = [
+        (
+            "naive",
+            StrategyKind::Baseline,
+            Placement::PreferHbm { reserve: 0 },
+        ),
+        ("sync", StrategyKind::SyncFetch, Placement::DdrOnly),
+        ("single-io", StrategyKind::single_io(), Placement::DdrOnly),
+        ("multi-io", StrategyKind::multi_io(2), Placement::DdrOnly),
+    ];
+    for (label, strategy, placement) in cases {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", label),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| criterion::black_box(run_stencil(&cfg(strategy, placement))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

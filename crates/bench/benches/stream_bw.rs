@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark behind Figure 1: STREAM triad through the
+//! scaled bandwidth model, HBM vs DDR4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetmem::{Memory, Topology, DDR4, HBM};
+use kernels::stream::{run_stream, StreamConfig, StreamKernel};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_triad");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let elems = 8 * 1024usize;
+    for (label, node) in [("DDR4", DDR4), ("MCDRAM", HBM)] {
+        group.throughput(Throughput::Bytes(24 * elems as u64 * 2));
+        group.bench_with_input(BenchmarkId::new("node", label), &node, |b, &node| {
+            let cfg = StreamConfig {
+                elems_per_thread: elems,
+                threads: 2,
+                node,
+                reps: 1,
+                per_thread_bytes_per_sec: None,
+            };
+            // Fresh memory per iteration: run_stream registers its
+            // arrays in the block registry, which would otherwise
+            // accumulate against the node budget across samples.
+            b.iter(|| {
+                let mem = Memory::new(Topology::knl_flat_scaled());
+                let r = run_stream(&mem, &cfg);
+                criterion::black_box(r.get(StreamKernel::Triad))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Design-choice ablations (DESIGN.md A1–A6): each isolates one
+//! mechanism the paper proposes, motivates, or defers to future work.
+
+use bench::{emit, Scale, Table};
+use hetmem::Topology;
+use hetrt_core::{EvictionPolicy, OocConfig, Placement, StrategyKind, WaitQueueTopology};
+use kernels::matmul::{run_matmul, MatmulConfig};
+use kernels::stencil::{run_stencil, StencilConfig};
+
+fn stencil_cfg(iterations: usize) -> StencilConfig {
+    StencilConfig {
+        chares: (4, 4, 2),
+        block: (64, 64, 32),
+        iterations,
+        pes: 8,
+        strategy: StrategyKind::multi_io(8),
+        placement: Placement::DdrOnly,
+        ooc: OocConfig::default(),
+        topology: Topology::knl_flat_scaled(),
+        compute_passes: 4,
+    }
+}
+
+fn matmul_cfg() -> MatmulConfig {
+    MatmulConfig {
+        grid: 12,
+        block: 64,
+        pes: 8,
+        strategy: StrategyKind::single_io(),
+        placement: Placement::DdrOnly,
+        ooc: OocConfig::default(),
+        topology: Topology::knl_flat_scaled(),
+        compute_passes: 2,
+    }
+}
+
+fn main() {
+    let (scale, save) = Scale::from_args();
+    let iterations = scale.pick(2, 3, 5);
+    let mut body = String::from("Ablations — design choices of §IV\n\n");
+
+    // A1: per-PE wait queues vs one shared queue (single IO thread).
+    // The paper's §IV-B load-imbalance argument.
+    {
+        let mut table = Table::new(&["A1: wait queues", "total (s)", "mean wait (ms)"]);
+        for (label, topo) in [
+            ("per-PE (paper)", WaitQueueTopology::PerPe),
+            ("single shared", WaitQueueTopology::SharedSingle),
+        ] {
+            let cfg = StencilConfig {
+                strategy: StrategyKind::single_io(),
+                ooc: OocConfig {
+                    wait_queues: topo,
+                    ..OocConfig::default()
+                },
+                ..stencil_cfg(iterations)
+            };
+            let r = run_stencil(&cfg);
+            table.row(vec![
+                label.to_string(),
+                format!("{:.2}", r.total_ns as f64 / 1e9),
+                format!("{:.1}", r.stats.mean_queue_wait_ms()),
+            ]);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+
+    // A2: memory pool for migration buffers (§IV-C future work).
+    {
+        let mut table = Table::new(&["A2: migration buffers", "total (s)", "fetches"]);
+        for (label, pool) in [("alloc/free (paper)", false), ("memory pool", true)] {
+            let cfg = StencilConfig {
+                ooc: OocConfig {
+                    use_memory_pool: pool,
+                    ..OocConfig::default()
+                },
+                ..stencil_cfg(iterations)
+            };
+            let r = run_stencil(&cfg);
+            table.row(vec![
+                label.to_string(),
+                format!("{:.2}", r.total_ns as f64 / 1e9),
+                r.stats.fetches.to_string(),
+            ]);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+
+    // A3: node-level run queue (§IV-B "we plan to use a node-level run
+    // queue in the future").
+    {
+        let mut table = Table::new(&["A3: run queues", "total (s)"]);
+        for (label, node_rq) in [("per-PE (paper)", false), ("node-level", true)] {
+            let cfg = StencilConfig {
+                ooc: OocConfig {
+                    node_level_run_queue: node_rq,
+                    ..OocConfig::default()
+                },
+                ..stencil_cfg(iterations)
+            };
+            let r = run_stencil(&cfg);
+            table.row(vec![
+                label.to_string(),
+                format!("{:.2}", r.total_ns as f64 / 1e9),
+            ]);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+
+    // A4: IO threads per wait-queue subgroup (§IV-B "finding more
+    // optimal IO thread count such that one IO thread can be assigned
+    // to a subgroup of wait queues").
+    {
+        let mut table = Table::new(&["A4: IO threads", "total (s)"]);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = StencilConfig {
+                strategy: StrategyKind::IoThreads { threads },
+                ..stencil_cfg(iterations)
+            };
+            let r = run_stencil(&cfg);
+            table.row(vec![
+                threads.to_string(),
+                format!("{:.2}", r.total_ns as f64 / 1e9),
+            ]);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+
+    // A5: KNL cache mode (direct-mapped, demand-filled HBM cache) vs
+    // the paper's Flat-mode runtime management — the comparison §VI
+    // defers to future work. Stencil blocks are private and cycled
+    // every iteration, so cache mode pays demand-miss latency on every
+    // task while the runtime prefetches asynchronously.
+    {
+        let mut table = Table::new(&["A5: HBM management", "total (s)"]);
+        for (label, strategy) in [
+            ("flat + multi-io (paper)", StrategyKind::multi_io(8)),
+            ("cache-mode (16 sets)", StrategyKind::CacheMode { sets: 16 }),
+        ] {
+            let cfg = StencilConfig {
+                strategy,
+                ..stencil_cfg(iterations)
+            };
+            let r = run_stencil(&cfg);
+            table.row(vec![
+                label.to_string(),
+                format!("{:.2}", r.total_ns as f64 / 1e9),
+            ]);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+
+    // A6: eviction policy — evict-on-completion (paper) vs LRU-on-
+    // demand, on the reuse-heavy matmul.
+    {
+        let mut table = Table::new(&["A6: eviction", "total (s)", "fetches", "evictions"]);
+        for (label, policy) in [
+            ("on-complete (paper)", EvictionPolicy::OnComplete),
+            ("LRU on demand", EvictionPolicy::LruOnDemand),
+        ] {
+            let cfg = MatmulConfig {
+                ooc: OocConfig {
+                    eviction: policy,
+                    ..OocConfig::default()
+                },
+                ..matmul_cfg()
+            };
+            let r = run_matmul(&cfg);
+            table.row(vec![
+                label.to_string(),
+                format!("{:.2}", r.total_ns as f64 / 1e9),
+                r.stats.fetches.to_string(),
+                r.stats.evictions.to_string(),
+            ]);
+        }
+        body.push_str(&table.render());
+        body.push('\n');
+    }
+
+    body.push_str(
+        "expectations: A1 shared queue inflates wait under one IO thread;\n\
+         A2 pool trims fetch latency; A3 node-level run queue helps imbalance;\n\
+         A4 throughput saturates once IO threads cover the fetch demand;\n\
+         A5 cache mode pays demand-miss latency the flat-mode runtime hides;\n\
+         A6 LRU keeps reused read-only blocks resident (fewer fetches).\n",
+    );
+    emit("ablations", &body, save);
+}

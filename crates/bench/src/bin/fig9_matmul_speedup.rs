@@ -1,0 +1,89 @@
+//! Figure 9: matrix-multiplication speedup from runtime-managed data
+//! movement, normalised to the naive baseline, as the total working
+//! set grows past the HBM capacity.
+//!
+//! Paper shape to reproduce: the speedup *grows* with the total working
+//! set (more naive overflow to DDR4), all three managed strategies are
+//! comparable — "single IO thread performs as well as multiple IO
+//! threads, due to high data reuse of read-only data blocks" — and the
+//! DDR4-only case is the slowest.
+
+use bench::{emit, Scale, Table};
+use hetmem::Topology;
+use hetrt_core::{OocConfig, Placement, StrategyKind};
+use kernels::matmul::{run_matmul, MatmulConfig};
+
+const PES: usize = 8;
+const BS: usize = 64; // block edge: 64x64 f64 = 32 KiB per block
+
+fn config(grid: usize, strategy: StrategyKind, placement: Placement) -> MatmulConfig {
+    MatmulConfig {
+        grid,
+        block: BS,
+        pes: PES,
+        strategy,
+        placement,
+        ooc: OocConfig::default(),
+        topology: Topology::knl_flat_scaled(),
+        compute_passes: 6,
+    }
+}
+
+fn main() {
+    let (scale, save) = Scale::from_args();
+    // grid G gives a total working set of 3·G²·32 KiB.
+    let grids: &[usize] = scale.pick(&[16][..], &[12, 16][..], &[12, 16, 20][..]);
+
+    let mut body = format!(
+        "Figure 9 — MatMul speedup vs naive baseline\n\
+         (HBM 16 MiB, {PES} PEs, {BS}x{BS} f64 blocks; total WSS = 3·G²·32 KiB)\n\n"
+    );
+    let mut table = Table::new(&[
+        "total WSS (MiB)",
+        "naive (s)",
+        "ddr4-only",
+        "single-io",
+        "no-io(sync)",
+        "multi-io",
+    ]);
+    for &grid in grids {
+        let total_mib = 3 * grid * grid * BS * BS * 8 / (1 << 20);
+        let naive = run_matmul(&config(
+            grid,
+            StrategyKind::Baseline,
+            Placement::PreferHbm { reserve: 1 << 20 },
+        ));
+        let mut cells = vec![
+            total_mib.to_string(),
+            format!("{:.2}", naive.total_ns as f64 / 1e9),
+        ];
+        let ddr = run_matmul(&config(grid, StrategyKind::Baseline, Placement::DdrOnly));
+        assert!((ddr.checksum - naive.checksum).abs() < 1e-6 * naive.checksum.abs());
+        cells.push(format!(
+            "{:.2}x",
+            naive.total_ns as f64 / ddr.total_ns as f64
+        ));
+        for strategy in [
+            StrategyKind::single_io(),
+            StrategyKind::SyncFetch,
+            StrategyKind::multi_io(PES),
+        ] {
+            let r = run_matmul(&config(grid, strategy, Placement::DdrOnly));
+            assert!(
+                (r.checksum - naive.checksum).abs() < 1e-6 * naive.checksum.abs(),
+                "{strategy:?} diverged numerically"
+            );
+            cells.push(format!("{:.2}x", naive.total_ns as f64 / r.total_ns as f64));
+        }
+        table.row(cells);
+    }
+    body.push_str(&table.render());
+    body.push_str(
+        "\npaper Figure 9: managed strategies comparable to each other (read-only\n\
+         reuse), speedup growing with total WSS; DDR4-only below 1x throughout.\n\
+         (At this scaled task granularity the single IO thread pays more than on\n\
+         the paper's 2048³-block dgemms; the full-scale virtual-time run —\n\
+         fig9_full_scale — reproduces the paper's single≈multi equivalence.)\n",
+    );
+    emit("fig9_matmul_speedup", &body, save);
+}

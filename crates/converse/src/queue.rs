@@ -1,0 +1,162 @@
+//! Per-PE FIFO run queues with blocking pop.
+//!
+//! "Tasks are picked up in FIFO order from the run queue and scheduled"
+//! (§IV-B). Each PE owns one [`RunQueue`]; worker loops park on the
+//! queue's condvar when it is empty and record the park time as idle.
+
+use crate::envelope::Envelope;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Result of a blocking pop.
+pub enum Pop {
+    /// A message to deliver.
+    Work(Envelope),
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Envelope>,
+    shutdown: bool,
+}
+
+/// A FIFO queue of envelopes with condvar parking.
+#[derive(Default)]
+pub struct RunQueue {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl RunQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue at the back.
+    pub fn push(&self, env: Envelope) {
+        let mut s = self.state.lock();
+        s.queue.push_back(env);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Enqueue at the front (used to resume a deferred message with
+    /// priority; Charm++ has similar high-priority delivery).
+    pub fn push_front(&self, env: Envelope) {
+        let mut s = self.state.lock();
+        s.queue.push_front(env);
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    /// Blocking pop: waits until work arrives or shutdown is signalled.
+    /// Drains remaining work before reporting shutdown.
+    pub fn pop(&self) -> Pop {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(env) = s.queue.pop_front() {
+                return Pop::Work(env);
+            }
+            if s.shutdown {
+                return Pop::Shutdown;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<Envelope> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Signal shutdown; wakes all waiters.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock();
+        s.shutdown = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Number of queued envelopes.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// True if no envelopes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{ArrayId, EntryId};
+    use std::sync::Arc;
+
+    fn env(tag: usize) -> Envelope {
+        Envelope::new(ArrayId(0), tag, EntryId(0), Box::new(()))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = RunQueue::new();
+        q.push(env(1));
+        q.push(env(2));
+        q.push(env(3));
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop() {
+                Pop::Work(e) => e.index,
+                Pop::Shutdown => panic!("unexpected shutdown"),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn push_front_takes_priority() {
+        let q = RunQueue::new();
+        q.push(env(1));
+        q.push_front(env(9));
+        match q.pop() {
+            Pop::Work(e) => assert_eq!(e.index, 9),
+            Pop::Shutdown => panic!(),
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_then_reports() {
+        let q = RunQueue::new();
+        q.push(env(5));
+        q.shutdown();
+        assert!(matches!(q.pop(), Pop::Work(_)));
+        assert!(matches!(q.pop(), Pop::Shutdown));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(RunQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || match q2.pop() {
+            Pop::Work(e) => e.index,
+            Pop::Shutdown => usize::MAX,
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(env(7));
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let q = RunQueue::new();
+        assert!(q.is_empty());
+        q.push(env(0));
+        assert_eq!(q.len(), 1);
+        let _ = q.try_pop();
+        assert!(q.is_empty());
+        assert!(q.try_pop().is_none());
+    }
+}

@@ -1,0 +1,592 @@
+//! The runtime: PEs, scheduler loops, message sends and interception.
+//!
+//! Each PE is a worker thread running the Converse scheduler loop:
+//! block on the PE's FIFO run queue, deliver the next message to its
+//! chare, repeat. Delivery of an unadmitted `[prefetch]` message is
+//! diverted to the installed [`SchedulerHook`] (§IV-B); everything else
+//! executes directly. Admitted messages trigger the hook's
+//! post-processing after execution.
+
+use crate::array::{ArrayBuilder, ArrayDispatch, ChareArray, Mapping};
+use crate::envelope::{ArrayId, ChareIndex, Dep, EntryId, EntryOptions, Envelope};
+use crate::hook::{ExecutedTask, SchedulerHook};
+use crate::queue::{Pop, RunQueue};
+use hetmem::{Clock, MonotonicClock};
+use parking_lot::{Mutex, RwLock};
+use projections::{LaneId, SpanKind, TraceCollector, Tracer};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A message-driven object. The paper's chare: state plus entry methods,
+/// executed one message at a time on the chare's home PE.
+pub trait Chare: Send + 'static {
+    /// Message payload type shared by this chare's entry methods.
+    type Msg: Send + 'static;
+
+    /// Deliver one message to one entry method.
+    fn execute(&mut self, entry: EntryId, msg: Self::Msg, ctx: &mut ExecCtx<'_>);
+
+    /// Declared data dependences for a `[prefetch]` entry method with
+    /// this message — the paper's `[readwrite: A, writeonly: B]`
+    /// annotation (§IV-A). Non-prefetch entries never consult this.
+    fn deps(&self, entry: EntryId, msg: &Self::Msg) -> Vec<Dep> {
+        let _ = (entry, msg);
+        Vec::new()
+    }
+}
+
+/// Execution context handed to a chare while it processes a message.
+pub struct ExecCtx<'rt> {
+    rt: &'rt Arc<Runtime>,
+    pe: usize,
+    index: ChareIndex,
+}
+
+impl<'rt> ExecCtx<'rt> {
+    pub(crate) fn new(rt: &'rt Arc<Runtime>, pe: usize, index: ChareIndex) -> Self {
+        Self { rt, pe, index }
+    }
+
+    /// The PE this message is executing on.
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// The index of the chare processing the message.
+    pub fn index(&self) -> ChareIndex {
+        self.index
+    }
+
+    /// The runtime (for sends, clock, latches...).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        self.rt
+    }
+
+    /// Send a message to a chare.
+    pub fn send<M: Send + 'static>(
+        &self,
+        array: ArrayId,
+        index: ChareIndex,
+        entry: EntryId,
+        msg: M,
+    ) {
+        self.rt.send(array, index, entry, msg);
+    }
+}
+
+/// Builds a [`Runtime`].
+pub struct RuntimeBuilder {
+    pes: usize,
+    clock: Option<Arc<dyn Clock>>,
+    collector: Option<Arc<TraceCollector>>,
+}
+
+impl RuntimeBuilder {
+    /// A runtime with `pes` worker threads.
+    pub fn new(pes: usize) -> Self {
+        assert!(pes > 0, "need at least one PE");
+        Self {
+            pes,
+            clock: None,
+            collector: None,
+        }
+    }
+
+    /// Use an explicit clock (defaults to the wall clock). Share the
+    /// `hetmem::Memory` clock so traces and bandwidth charges agree.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Use an explicit trace collector (defaults to a fresh enabled one).
+    pub fn collector(mut self, collector: Arc<TraceCollector>) -> Self {
+        self.collector = Some(collector);
+        self
+    }
+
+    /// Spawn the PE worker threads and return the runtime.
+    pub fn build(self) -> Arc<Runtime> {
+        let clock = self
+            .clock
+            .unwrap_or_else(|| Arc::new(MonotonicClock::new()));
+        let collector = self
+            .collector
+            .unwrap_or_else(|| Arc::new(TraceCollector::new()));
+        let queues: Vec<Arc<RunQueue>> = (0..self.pes).map(|_| Arc::new(RunQueue::new())).collect();
+        let rt = Arc::new(Runtime {
+            pes: self.pes,
+            queues,
+            clock,
+            collector,
+            arrays: RwLock::new(Vec::new()),
+            array_objects: RwLock::new(Vec::new()),
+            hook: RwLock::new(None),
+            sent: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
+        });
+        let mut threads = rt.threads.lock();
+        for pe in 0..rt.pes {
+            let rt2 = Arc::clone(&rt);
+            let tracer = rt.collector.tracer(LaneId::worker(pe as u32));
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pe{pe}"))
+                    .spawn(move || worker_loop(rt2, pe, tracer))
+                    .expect("spawn PE worker"),
+            );
+        }
+        drop(threads);
+        rt
+    }
+}
+
+/// The message-driven runtime.
+pub struct Runtime {
+    pes: usize,
+    queues: Vec<Arc<RunQueue>>,
+    clock: Arc<dyn Clock>,
+    collector: Arc<TraceCollector>,
+    arrays: RwLock<Vec<Arc<dyn ArrayDispatch>>>,
+    array_objects: RwLock<Vec<Arc<dyn Any + Send + Sync>>>,
+    hook: RwLock<Option<Arc<dyn SchedulerHook>>>,
+    sent: AtomicU64,
+    processed: AtomicU64,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    shutting_down: AtomicBool,
+}
+
+impl Runtime {
+    /// Number of PEs (worker threads).
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// The runtime's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The trace collector.
+    pub fn collector(&self) -> &Arc<TraceCollector> {
+        &self.collector
+    }
+
+    /// Install the memory-aware scheduler hook. Must happen before any
+    /// `[prefetch]` message is sent.
+    pub fn set_hook(&self, hook: Arc<dyn SchedulerHook>) {
+        *self.hook.write() = Some(hook);
+    }
+
+    /// Register a chare array (usually via [`ArrayBuilder`]).
+    pub fn register_array<C: Chare>(
+        self: &Arc<Self>,
+        entries: HashMap<EntryId, EntryOptions>,
+        mapping: Mapping,
+        count: usize,
+        factory: impl FnMut(usize) -> C,
+    ) -> ArrayId {
+        let mut arrays = self.arrays.write();
+        let id = ArrayId(arrays.len() as u32);
+        let array = Arc::new(ChareArray::<C>::new(
+            id, count, mapping, self.pes, entries, factory,
+        ));
+        arrays.push(array.clone() as Arc<dyn ArrayDispatch>);
+        self.array_objects
+            .write()
+            .push(array as Arc<dyn Any + Send + Sync>);
+        id
+    }
+
+    /// Fluent array registration.
+    pub fn array_builder<C: Chare>(self: &Arc<Self>) -> ArrayBuilder<'_, C> {
+        ArrayBuilder::new(self)
+    }
+
+    /// Typed view of a registered array (setup / result inspection).
+    pub fn array<C: Chare>(&self, id: ArrayId) -> Arc<ChareArray<C>> {
+        self.array_objects.read()[id.0 as usize]
+            .clone()
+            .downcast::<ChareArray<C>>()
+            .expect("array type mismatch")
+    }
+
+    fn dispatch(&self, id: ArrayId) -> Arc<dyn ArrayDispatch> {
+        self.arrays.read()[id.0 as usize].clone()
+    }
+
+    /// Send a message to a chare's entry method. The envelope lands on
+    /// the target chare's home-PE run queue.
+    pub fn send<M: Send + 'static>(
+        &self,
+        array: ArrayId,
+        index: ChareIndex,
+        entry: EntryId,
+        msg: M,
+    ) {
+        let env = Envelope::new(array, index, entry, Box::new(msg));
+        let pe = self.dispatch(array).home_pe(index);
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.queues[pe].push(env);
+    }
+
+    /// Re-inject an (admitted) envelope onto a PE's run queue. This is
+    /// how the hook schedules a task whose data is now in HBM.
+    pub fn inject(&self, pe: usize, env: Envelope) {
+        self.queues[pe].push(env);
+    }
+
+    /// Number of envelopes queued on a PE's run queue.
+    pub fn queue_len(&self, pe: usize) -> usize {
+        self.queues[pe].len()
+    }
+
+    /// The PE with the shortest run queue (the paper's planned
+    /// "node-level run queue" routes admitted tasks here).
+    pub fn least_loaded_pe(&self) -> usize {
+        (0..self.pes)
+            .min_by_key(|&pe| self.queues[pe].len())
+            .unwrap_or(0)
+    }
+
+    /// Number of chares in an array.
+    pub fn array_len(&self, array: ArrayId) -> usize {
+        self.dispatch(array).count()
+    }
+
+    /// Home PE of a chare.
+    pub fn home_pe(&self, array: ArrayId, index: ChareIndex) -> usize {
+        self.dispatch(array).home_pe(index)
+    }
+
+    /// Entry options for an entry method.
+    pub fn entry_options(&self, array: ArrayId, entry: EntryId) -> EntryOptions {
+        self.dispatch(array).entry_options(entry)
+    }
+
+    /// Declared dependences of an envelope's target entry method.
+    pub fn deps_for(&self, env: &Envelope) -> Vec<Dep> {
+        self.dispatch(env.array).deps_of(env)
+    }
+
+    /// Messages sent so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages fully executed so far.
+    pub fn processed_count(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Poll until the system is quiescent: every sent message executed,
+    /// no hook-pending tasks, all queues empty. Returns false on
+    /// timeout.
+    pub fn wait_quiescence_ms(&self, timeout_ms: u64) -> bool {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        loop {
+            let hook_pending = self.hook.read().as_ref().map(|h| h.pending()).unwrap_or(0);
+            let queued: usize = self.queues.iter().map(|q| q.len()).sum();
+            let processed = self.processed_count();
+            let sent = self.sent_count();
+            if hook_pending == 0 && queued == 0 && processed == sent {
+                // Double-check after a beat: a message may be mid-flight.
+                std::thread::sleep(std::time::Duration::from_micros(300));
+                let stable = self.processed_count() == self.sent_count()
+                    && self.queues.iter().all(|q| q.is_empty())
+                    && self.hook.read().as_ref().map(|h| h.pending()).unwrap_or(0) == 0;
+                if stable {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    /// Stop the PE threads (drains queued work first) and join them.
+    pub fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for q in &self.queues {
+            q.shutdown();
+        }
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+        drop(threads);
+        // Break the runtime↔hook reference cycle so both can drop.
+        *self.hook.write() = None;
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Threads hold Arc<Runtime>, so by the time Drop runs they have
+        // already exited (shutdown() drops their Arcs). Nothing to do,
+        // but keep the hook from leaking cycles.
+        *self.hook.get_mut() = None;
+    }
+}
+
+fn worker_loop(rt: Arc<Runtime>, pe: usize, tracer: Arc<Tracer>) {
+    loop {
+        let idle_start = rt.clock.now();
+        match rt.queues[pe].pop() {
+            Pop::Shutdown => break,
+            Pop::Work(env) => {
+                let now = rt.clock.now();
+                if now > idle_start {
+                    tracer.record(SpanKind::Idle, idle_start, now, pe as u32);
+                }
+                process(&rt, pe, env, &tracer);
+            }
+        }
+    }
+}
+
+fn process(rt: &Arc<Runtime>, pe: usize, env: Envelope, tracer: &Arc<Tracer>) {
+    let dispatch = rt.dispatch(env.array);
+    let opts = dispatch.entry_options(env.entry);
+
+    // §IV-B interception: unadmitted [prefetch] messages go to the hook.
+    if opts.prefetch && !env.admitted {
+        let hook = rt.hook.read().clone();
+        if let Some(hook) = hook {
+            hook.on_intercept(pe, env);
+            return;
+        }
+        // No hook installed: fall through and execute directly (the
+        // baseline configurations run this way).
+    }
+
+    let done = ExecutedTask {
+        array: env.array,
+        index: env.index,
+        entry: env.entry,
+        token: env.token,
+        pe,
+    };
+    let was_admitted = env.admitted;
+    let kind = if opts.prefetch {
+        SpanKind::Compute
+    } else {
+        SpanKind::Entry
+    };
+    let t0 = rt.clock.now();
+    dispatch.execute(env, rt, pe);
+    let t1 = rt.clock.now();
+    tracer.record(kind, t0, t1, done.index as u32);
+    rt.processed.fetch_add(1, Ordering::Relaxed);
+
+    if was_admitted {
+        let hook = rt.hook.read().clone();
+        if let Some(hook) = hook {
+            hook.on_complete(done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::CompletionLatch;
+
+    const EP_PING: EntryId = EntryId(0);
+    const EP_BOUNCE: EntryId = EntryId(1);
+
+    struct Counter {
+        hits: u64,
+        latch: Arc<CompletionLatch>,
+        peers: usize,
+        array: Option<ArrayId>,
+    }
+
+    impl Chare for Counter {
+        type Msg = u64;
+        fn execute(&mut self, entry: EntryId, msg: u64, ctx: &mut ExecCtx<'_>) {
+            self.hits += msg;
+            match entry {
+                EP_PING => self.latch.count_down(),
+                EP_BOUNCE => {
+                    // Forward to the next chare once, then finish.
+                    let next = (ctx.index() + 1) % self.peers;
+                    if msg > 0 {
+                        ctx.send(self.array.unwrap(), next, EP_BOUNCE, msg - 1);
+                    }
+                    self.latch.count_down();
+                }
+                other => panic!("unknown entry {other:?}"),
+            }
+        }
+    }
+
+    fn runtime(pes: usize) -> Arc<Runtime> {
+        RuntimeBuilder::new(pes).build()
+    }
+
+    #[test]
+    fn messages_reach_every_chare() {
+        let rt = runtime(2);
+        let n = 8;
+        let latch = Arc::new(CompletionLatch::new(n));
+        let l2 = Arc::clone(&latch);
+        let array = rt
+            .array_builder::<Counter>()
+            .entry(EP_PING, EntryOptions::default())
+            .build(n, move |_| Counter {
+                hits: 0,
+                latch: Arc::clone(&l2),
+                peers: n,
+                array: None,
+            });
+        for i in 0..n {
+            rt.send(array, i, EP_PING, 10u64);
+        }
+        assert!(latch.wait_timeout_ms(5000), "latch never fired");
+        let arr = rt.array::<Counter>(array);
+        for i in 0..n {
+            assert_eq!(arr.with_chare(i, |c| c.hits), 10);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chares_can_send_from_entry_methods() {
+        let rt = runtime(2);
+        let hops = 5u64;
+        // 1 initial + `hops` forwarded messages in total execute.
+        let latch = Arc::new(CompletionLatch::new(hops as usize + 1));
+        let l2 = Arc::clone(&latch);
+        let array = rt
+            .array_builder::<Counter>()
+            .entry(EP_BOUNCE, EntryOptions::default())
+            .mapping(Mapping::RoundRobin)
+            .build(3, move |_| Counter {
+                hits: 0,
+                latch: Arc::clone(&l2),
+                peers: 3,
+                array: None,
+            });
+        let arr = rt.array::<Counter>(array);
+        for i in 0..3 {
+            arr.with_chare(i, |c| c.array = Some(array));
+        }
+        rt.send(array, 0, EP_BOUNCE, hops);
+        assert!(latch.wait_timeout_ms(5000));
+        assert!(rt.wait_quiescence_ms(2000));
+        assert_eq!(rt.sent_count(), hops + 1);
+        assert_eq!(rt.processed_count(), hops + 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn quiescence_on_idle_runtime() {
+        let rt = runtime(1);
+        assert!(rt.wait_quiescence_ms(500));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let rt = runtime(2);
+        rt.shutdown();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn tracer_records_work_spans() {
+        let rt = runtime(1);
+        let latch = Arc::new(CompletionLatch::new(1));
+        let l2 = Arc::clone(&latch);
+        let array = rt
+            .array_builder::<Counter>()
+            .entry(EP_PING, EntryOptions::default())
+            .build(1, move |_| Counter {
+                hits: 0,
+                latch: Arc::clone(&l2),
+                peers: 1,
+                array: None,
+            });
+        rt.send(array, 0, EP_PING, 1u64);
+        latch.wait();
+        rt.shutdown();
+        let trace = rt.collector().finish();
+        let summary = trace.summarize();
+        assert!(summary.total.get(SpanKind::Entry) > 0 || summary.total.total_ns() == 0);
+    }
+
+    struct NeedsHook;
+    impl Chare for NeedsHook {
+        type Msg = ();
+        fn execute(&mut self, _e: EntryId, _m: (), _c: &mut ExecCtx<'_>) {}
+    }
+
+    #[test]
+    fn prefetch_without_hook_executes_directly() {
+        let rt = runtime(1);
+        let array = rt
+            .array_builder::<NeedsHook>()
+            .entry(EP_PING, EntryOptions::prefetch())
+            .build(1, |_| NeedsHook);
+        rt.send(array, 0, EP_PING, ());
+        assert!(rt.wait_quiescence_ms(2000));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn hook_intercepts_prefetch_and_completion_fires() {
+        use parking_lot::Mutex as PMutex;
+
+        struct AdmitHook {
+            rt: Arc<Runtime>,
+            intercepted: PMutex<Vec<ChareIndex>>,
+            completed: PMutex<Vec<u64>>,
+            outstanding: AtomicU64,
+        }
+        impl SchedulerHook for AdmitHook {
+            fn on_intercept(&self, pe: usize, mut env: Envelope) {
+                self.intercepted.lock().push(env.index);
+                self.outstanding.fetch_add(1, Ordering::SeqCst);
+                env.admitted = true;
+                env.token = 77;
+                self.rt.inject(pe, env);
+            }
+            fn on_complete(&self, done: ExecutedTask) {
+                self.completed.lock().push(done.token);
+                self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            }
+            fn pending(&self) -> usize {
+                self.outstanding.load(Ordering::SeqCst) as usize
+            }
+        }
+
+        let rt = runtime(1);
+        let array = rt
+            .array_builder::<NeedsHook>()
+            .entry(EP_PING, EntryOptions::prefetch())
+            .build(2, |_| NeedsHook);
+        let hook = Arc::new(AdmitHook {
+            rt: Arc::clone(&rt),
+            intercepted: PMutex::new(vec![]),
+            completed: PMutex::new(vec![]),
+            outstanding: AtomicU64::new(0),
+        });
+        rt.set_hook(hook.clone());
+        rt.send(array, 0, EP_PING, ());
+        rt.send(array, 1, EP_PING, ());
+        assert!(rt.wait_quiescence_ms(2000));
+        assert_eq!(*hook.intercepted.lock(), vec![0, 1]);
+        assert_eq!(*hook.completed.lock(), vec![77, 77]);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the message-driven substrate: delivery,
+//! ordering, and quiescence under randomized message storms.
+
+use converse::{Chare, CompletionLatch, EntryId, EntryOptions, ExecCtx, Mapping, RuntimeBuilder};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const EP_ADD: EntryId = EntryId(0);
+const EP_RELAY: EntryId = EntryId(1);
+
+struct Accum {
+    total: u64,
+    log: Arc<Mutex<Vec<(usize, u64)>>>,
+    latch: Arc<CompletionLatch>,
+    array: Option<converse::ArrayId>,
+    peers: usize,
+}
+
+impl Chare for Accum {
+    type Msg = u64;
+    fn execute(&mut self, entry: EntryId, msg: u64, ctx: &mut ExecCtx<'_>) {
+        match entry {
+            EP_ADD => {
+                self.total += msg;
+                self.log.lock().push((ctx.index(), msg));
+                self.latch.count_down();
+            }
+            EP_RELAY => {
+                // Forward a decremented token to the next chare.
+                self.total += 1;
+                if msg > 0 {
+                    let next = (ctx.index() + 1) % self.peers;
+                    ctx.send(self.array.unwrap(), next, EP_RELAY, msg - 1);
+                }
+                self.latch.count_down();
+            }
+            other => panic!("unknown entry {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every sent message is delivered exactly once, regardless of PE
+    /// count, mapping or payload pattern; per-target FIFO order holds.
+    #[test]
+    fn delivery_is_exactly_once_and_fifo(
+        pes in 1usize..5,
+        chares in 1usize..9,
+        sends in prop::collection::vec((0usize..8, 1u64..100), 1..40),
+        round_robin in any::<bool>(),
+    ) {
+        let rt = RuntimeBuilder::new(pes).build();
+        let latch = Arc::new(CompletionLatch::new(sends.len()));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l2, g2) = (Arc::clone(&latch), Arc::clone(&log));
+        let mapping = if round_robin { Mapping::RoundRobin } else { Mapping::Block };
+        let array = rt
+            .array_builder::<Accum>()
+            .entry(EP_ADD, EntryOptions::default())
+            .mapping(mapping)
+            .build(chares, move |_| Accum {
+                total: 0,
+                log: Arc::clone(&g2),
+                latch: Arc::clone(&l2),
+                array: None,
+                peers: chares,
+            });
+        let mut expected: Vec<u64> = vec![0; chares];
+        for &(target, value) in &sends {
+            let t = target % chares;
+            expected[t] += value;
+            rt.send(array, t, EP_ADD, value);
+        }
+        prop_assert!(latch.wait_timeout_ms(20_000), "messages lost");
+        prop_assert!(rt.wait_quiescence_ms(10_000));
+        let arr = rt.array::<Accum>(array);
+        for (i, want) in expected.iter().enumerate() {
+            prop_assert_eq!(arr.with_chare(i, |c| c.total), *want);
+        }
+        // Per-target FIFO: the sequence of values logged by each chare
+        // matches its send order.
+        let logged = log.lock();
+        for t in 0..chares {
+            let got: Vec<u64> = logged.iter().filter(|(i, _)| *i == t).map(|(_, v)| *v).collect();
+            let want: Vec<u64> = sends
+                .iter()
+                .filter(|(target, _)| target % chares == t)
+                .map(|(_, v)| *v)
+                .collect();
+            prop_assert_eq!(got, want, "FIFO violated for chare {}", t);
+        }
+        rt.shutdown();
+    }
+
+    /// Chare-to-chare relays of random length terminate and execute
+    /// exactly hops+1 entry methods.
+    #[test]
+    fn relays_terminate(pes in 1usize..4, chares in 1usize..6, hops in 0u64..50) {
+        let rt = RuntimeBuilder::new(pes).build();
+        let latch = Arc::new(CompletionLatch::new(hops as usize + 1));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l2, g2) = (Arc::clone(&latch), Arc::clone(&log));
+        let array = rt
+            .array_builder::<Accum>()
+            .entry(EP_RELAY, EntryOptions::default())
+            .build(chares, move |_| Accum {
+                total: 0,
+                log: Arc::clone(&g2),
+                latch: Arc::clone(&l2),
+                array: None,
+                peers: chares,
+            });
+        let arr = rt.array::<Accum>(array);
+        for i in 0..chares {
+            arr.with_chare(i, |c| c.array = Some(array));
+        }
+        rt.send(array, 0, EP_RELAY, hops);
+        prop_assert!(latch.wait_timeout_ms(20_000), "relay stalled");
+        prop_assert!(rt.wait_quiescence_ms(10_000));
+        prop_assert_eq!(rt.processed_count(), hops + 1);
+        let total: u64 = (0..chares).map(|i| arr.with_chare(i, |c| c.total)).sum();
+        prop_assert_eq!(total, hops + 1);
+        rt.shutdown();
+    }
+
+    /// Round-robin covers every PE once chares ≥ PEs; block mapping
+    /// assigns contiguous, bounded groups to a prefix of the PEs.
+    #[test]
+    fn mapping_contracts(pes in 1usize..6, extra in 0usize..10) {
+        let chares = pes + extra;
+        // Round-robin: full coverage and near-perfect balance.
+        let mut counts = vec![0usize; pes];
+        for i in 0..chares {
+            counts[Mapping::RoundRobin.home_pe(i, chares, pes)] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c > 0), "round-robin left a PE idle");
+        prop_assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+        // Block: monotone PE sequence, at most ceil(chares/pes) chares
+        // per PE (the last PEs may be idle when the division is ragged).
+        let per = chares.div_ceil(pes);
+        let mut counts = vec![0usize; pes];
+        let mut last = 0usize;
+        for i in 0..chares {
+            let pe = Mapping::Block.home_pe(i, chares, pes);
+            prop_assert!(pe >= last, "block mapping must be monotone");
+            last = pe;
+            counts[pe] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c <= per));
+        prop_assert!(counts[0] > 0, "block mapping must start at PE0");
+    }
+}

@@ -1,0 +1,406 @@
+//! Shared fetch/evict machinery used by every scheduling strategy.
+//!
+//! The [`FetchEngine`] is Algorithm 1 of the paper, factored out of the
+//! strategies:
+//!
+//! ```text
+//! while space remains in HBM:
+//!     pop first task in wait queue
+//!     bring in data for task
+//!     if all data for task in HBM: add task to run queue
+//!     else: bring in remaining data
+//! data blocks not in use are evicted to DDR4
+//! ```
+//!
+//! Reference-count discipline: dependences are `add_ref`ed **before**
+//! fetching (so nothing evicts them between fetch and execution) and
+//! released at completion; blocks whose count returns to zero are
+//! evicted (paper policy) or left for LRU-on-demand eviction (ablation).
+
+use crate::config::{EvictionPolicy, OocConfig};
+use crate::stats::StatCells;
+use converse::Dep;
+use hetmem::{MemError, Memory, MigrationEngine};
+use projections::{SpanKind, Tracer};
+use std::sync::Arc;
+
+/// Why a fetch could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// HBM has no room even after permitted evictions; retry after a
+    /// task completes and frees space.
+    NoSpace,
+    /// A task's dependences can never fit in HBM simultaneously —
+    /// a configuration error (the paper's reduced working set must fit).
+    TaskTooLarge {
+        /// Bytes the task needs resident at once.
+        needed: u64,
+        /// The HBM capacity budget.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::NoSpace => write!(f, "no space in HBM (retry after eviction)"),
+            FetchError::TaskTooLarge { needed, capacity } => write!(
+                f,
+                "task needs {needed} B resident but HBM capacity is {capacity} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Fetch/evict executor bound to one memory subsystem.
+pub struct FetchEngine {
+    mem: Arc<Memory>,
+    engine: MigrationEngine,
+    config: OocConfig,
+    stats: Arc<StatCells>,
+}
+
+impl FetchEngine {
+    /// Build an engine for `mem` under `config`.
+    pub fn new(mem: Arc<Memory>, config: OocConfig, stats: Arc<StatCells>) -> Self {
+        let engine = if config.use_memory_pool {
+            MigrationEngine::with_pools(Arc::clone(&mem))
+        } else {
+            MigrationEngine::new(Arc::clone(&mem))
+        };
+        Self {
+            mem,
+            engine,
+            config,
+            stats,
+        }
+    }
+
+    /// The memory subsystem.
+    pub fn memory(&self) -> &Arc<Memory> {
+        &self.mem
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OocConfig {
+        &self.config
+    }
+
+    /// Migration statistics (fetches + evictions combined).
+    pub fn migration_stats(&self) -> hetmem::MigrationStats {
+        self.engine.stats()
+    }
+
+    /// Bytes of HBM still available under budget and headroom.
+    pub fn hbm_available(&self) -> u64 {
+        self.mem
+            .allocator(self.config.hbm)
+            .available()
+            .saturating_sub(self.config.headroom_bytes)
+    }
+
+    /// Reference every dependence of a task (call before fetching).
+    pub fn add_refs(&self, deps: &[Dep]) {
+        for d in deps {
+            self.mem.registry().add_ref(d.block);
+        }
+    }
+
+    /// Release references taken by [`FetchEngine::add_refs`].
+    pub fn release_refs(&self, deps: &[Dep]) {
+        for d in deps {
+            self.mem.registry().release_ref(d.block);
+        }
+    }
+
+    /// Bring every dependence of a task into HBM. Returns `Ok(())` when
+    /// all blocks are resident in HBM; `Err(NoSpace)` if capacity ran
+    /// out part-way (already-fetched blocks stay resident — the paper's
+    /// IO thread likewise "brings in remaining data" on a later pass);
+    /// `Err(TaskTooLarge)` if the task can never fit.
+    ///
+    /// Call with the task's refs held so fetched blocks cannot be
+    /// evicted underneath us. Records one `Fetch` span per actual move
+    /// on `tracer`.
+    pub fn fetch_all(&self, deps: &[Dep], tracer: &Tracer, tag: u32) -> Result<(), FetchError> {
+        let needed: u64 = deps
+            .iter()
+            .map(|d| self.mem.registry().size_of(d.block) as u64)
+            .sum();
+        let capacity = self
+            .mem
+            .allocator(self.config.hbm)
+            .capacity()
+            .saturating_sub(self.config.headroom_bytes);
+        if needed > capacity {
+            return Err(FetchError::TaskTooLarge { needed, capacity });
+        }
+        for d in deps {
+            self.ensure_in_hbm(d, tracer, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Bring one dependence into HBM (§IV-B: "for any dependence that
+    /// is INDDR, brings it into HBM and changes its state to INHBM").
+    fn ensure_in_hbm(&self, dep: &Dep, tracer: &Tracer, tag: u32) -> Result<(), FetchError> {
+        let registry = self.mem.registry();
+        let hbm = self.config.hbm;
+        loop {
+            match registry.node_of(dep.block) {
+                Some(n) if n == hbm => return Ok(()),
+                None => {
+                    // Another thread is moving it; wait for the verdict.
+                    let t0 = self.mem.clock().now();
+                    let node = registry.wait_resident(dep.block);
+                    let t1 = self.mem.clock().now();
+                    tracer.record(SpanKind::BlockWait, t0, t1, tag);
+                    if node == hbm {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {
+                    let copy = dep.mode.reads_old_contents();
+                    let t0 = self.mem.clock().now();
+                    match self.engine.migrate(dep.block, hbm, false, copy) {
+                        Ok(_) => {
+                            let t1 = self.mem.clock().now();
+                            tracer.record(SpanKind::Fetch, t0, t1, tag);
+                            self.stats.bump_fetches(registry.size_of(dep.block) as u64);
+                            return Ok(());
+                        }
+                        Err(MemError::CapacityExceeded { .. }) => {
+                            if self.config.eviction == EvictionPolicy::LruOnDemand {
+                                let size = registry.size_of(dep.block) as u64;
+                                if self.make_space_lru(size, tracer, tag) {
+                                    continue;
+                                }
+                            }
+                            self.stats.bump_no_space();
+                            return Err(FetchError::NoSpace);
+                        }
+                        Err(MemError::InvalidState { .. }) => {
+                            // Raced with another fetcher/evicter; retry.
+                            continue;
+                        }
+                        Err(MemError::SameNode(_)) => return Ok(()),
+                        Err(other) => {
+                            panic!("unexpected migration failure for {:?}: {other}", dep.block)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict `deps` whose reference count is zero back to DDR4 — the
+    /// paper's post-processing step. Records `Evict` spans on `tracer`.
+    /// Returns the number of blocks actually evicted.
+    pub fn evict_unreferenced(&self, deps: &[Dep], tracer: &Tracer, tag: u32) -> usize {
+        if self.config.eviction == EvictionPolicy::LruOnDemand {
+            // Lazy policy: leave blocks in HBM; space is reclaimed on
+            // demand by make_space_lru.
+            return 0;
+        }
+        let mut evicted = 0;
+        for d in deps {
+            if self.try_evict(d.block, tracer, tag) {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Evict one specific block to DDR4 regardless of policy (used by
+    /// cache-mode conflict eviction). Fails if the block is referenced
+    /// or mid-move.
+    pub fn force_evict(
+        &self,
+        block: hetmem::BlockId,
+        tracer: &Tracer,
+        tag: u32,
+    ) -> Result<(), crate::FetchError> {
+        if self.try_evict(block, tracer, tag) {
+            Ok(())
+        } else {
+            Err(crate::FetchError::NoSpace)
+        }
+    }
+
+    /// Evict a single block if it is in HBM with refcount zero.
+    fn try_evict(&self, block: hetmem::BlockId, tracer: &Tracer, tag: u32) -> bool {
+        let registry = self.mem.registry();
+        if registry.node_of(block) != Some(self.config.hbm) || registry.refcount(block) > 0 {
+            return false;
+        }
+        let t0 = self.mem.clock().now();
+        // Evicted contents must persist: always copy.
+        match self.engine.migrate(block, self.config.ddr, true, true) {
+            Ok(_) => {
+                let t1 = self.mem.clock().now();
+                tracer.record(SpanKind::Evict, t0, t1, tag);
+                self.stats.bump_evictions(registry.size_of(block) as u64);
+                true
+            }
+            // Lost a race (re-referenced, being fetched, DDR full): skip.
+            Err(_) => false,
+        }
+    }
+
+    /// LRU-on-demand eviction: free at least `needed` bytes of HBM by
+    /// evicting least-recently-touched zero-refcount blocks. Returns
+    /// true if enough space was freed.
+    fn make_space_lru(&self, needed: u64, tracer: &Tracer, tag: u32) -> bool {
+        let registry = self.mem.registry();
+        for block in registry.resident_on(self.config.hbm) {
+            if self.hbm_available() >= needed {
+                return true;
+            }
+            if registry.refcount(block) == 0 {
+                self.try_evict(block, tracer, tag);
+            }
+        }
+        self.hbm_available() >= needed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WaitQueueTopology;
+    use hetmem::{AccessMode, Topology, VirtualClock, DDR4, HBM};
+    use projections::{LaneId, TraceCollector};
+
+    fn setup(hbm_cap: u64) -> (Arc<Memory>, FetchEngine, Arc<Tracer>) {
+        let topo = Topology::knl_flat_scaled_with(hbm_cap, 1 << 20);
+        let mem = Memory::with_clock(topo, Arc::new(VirtualClock::new()));
+        let config = OocConfig::default();
+        let engine = FetchEngine::new(Arc::clone(&mem), config, Arc::new(StatCells::default()));
+        let collector = TraceCollector::new();
+        let tracer = collector.tracer(LaneId::io(0));
+        (mem, engine, tracer)
+    }
+
+    fn block(mem: &Arc<Memory>, size: usize, label: &str) -> hetmem::BlockId {
+        mem.registry()
+            .register(mem.alloc_on_node(size, DDR4).unwrap(), label)
+    }
+
+    fn dep(b: hetmem::BlockId, mode: AccessMode) -> Dep {
+        Dep { block: b, mode }
+    }
+
+    #[test]
+    fn fetch_all_moves_everything_to_hbm() {
+        let (mem, engine, tracer) = setup(10_000);
+        let a = block(&mem, 1000, "a");
+        let b = block(&mem, 2000, "b");
+        let deps = vec![dep(a, AccessMode::ReadWrite), dep(b, AccessMode::ReadOnly)];
+        engine.add_refs(&deps);
+        engine.fetch_all(&deps, &tracer, 0).unwrap();
+        assert_eq!(mem.registry().node_of(a), Some(HBM));
+        assert_eq!(mem.registry().node_of(b), Some(HBM));
+        engine.release_refs(&deps);
+    }
+
+    #[test]
+    fn fetch_reports_no_space() {
+        let (mem, engine, tracer) = setup(1500);
+        let a = block(&mem, 1000, "a");
+        let c = block(&mem, 1000, "c");
+        // Fill HBM with a referenced block.
+        let d_a = vec![dep(a, AccessMode::ReadWrite)];
+        engine.add_refs(&d_a);
+        engine.fetch_all(&d_a, &tracer, 0).unwrap();
+        // c cannot fit while a is resident.
+        let d_c = vec![dep(c, AccessMode::ReadWrite)];
+        engine.add_refs(&d_c);
+        assert_eq!(engine.fetch_all(&d_c, &tracer, 0), Err(FetchError::NoSpace));
+        engine.release_refs(&d_c);
+        // After a's task completes and evicts, c fits.
+        engine.release_refs(&d_a);
+        assert_eq!(engine.evict_unreferenced(&d_a, &tracer, 0), 1);
+        engine.add_refs(&d_c);
+        engine.fetch_all(&d_c, &tracer, 0).unwrap();
+        assert_eq!(mem.registry().node_of(c), Some(HBM));
+    }
+
+    #[test]
+    fn oversized_task_is_rejected_loudly() {
+        let (mem, engine, tracer) = setup(100);
+        let a = block(&mem, 500, "a");
+        let err = engine
+            .fetch_all(&[dep(a, AccessMode::ReadWrite)], &tracer, 0)
+            .unwrap_err();
+        assert!(matches!(err, FetchError::TaskTooLarge { .. }));
+    }
+
+    #[test]
+    fn eviction_skips_referenced_blocks() {
+        let (mem, engine, tracer) = setup(10_000);
+        let a = block(&mem, 100, "a");
+        let deps = vec![dep(a, AccessMode::ReadOnly)];
+        engine.add_refs(&deps);
+        engine.fetch_all(&deps, &tracer, 0).unwrap();
+        // Another task still references a.
+        engine.add_refs(&deps);
+        engine.release_refs(&deps);
+        assert_eq!(engine.evict_unreferenced(&deps, &tracer, 0), 0);
+        assert_eq!(mem.registry().node_of(a), Some(HBM));
+        engine.release_refs(&deps);
+        assert_eq!(engine.evict_unreferenced(&deps, &tracer, 0), 1);
+        assert_eq!(mem.registry().node_of(a), Some(DDR4));
+    }
+
+    #[test]
+    fn writeonly_deps_fetch_without_copy() {
+        let (mem, engine, tracer) = setup(10_000);
+        let a = block(&mem, 4096, "a");
+        let deps = vec![dep(a, AccessMode::WriteOnly)];
+        engine.add_refs(&deps);
+        engine.fetch_all(&deps, &tracer, 0).unwrap();
+        // No payload bytes charged on fetch for write-only blocks.
+        assert_eq!(mem.stats().nodes[HBM.index()].bytes_charged, 0);
+        // Eviction persists the written data: bytes are charged then.
+        engine.release_refs(&deps);
+        engine.evict_unreferenced(&deps, &tracer, 0);
+        assert!(mem.stats().nodes[DDR4.index()].bytes_charged >= 4096);
+    }
+
+    #[test]
+    fn lru_on_demand_makes_space() {
+        let topo = Topology::knl_flat_scaled_with(2500, 1 << 20);
+        let mem = Memory::with_clock(topo, Arc::new(VirtualClock::new()));
+        let config = OocConfig {
+            eviction: EvictionPolicy::LruOnDemand,
+            wait_queues: WaitQueueTopology::PerPe,
+            ..OocConfig::default()
+        };
+        let engine = FetchEngine::new(Arc::clone(&mem), config, Arc::new(StatCells::default()));
+        let collector = TraceCollector::new();
+        let tracer = collector.tracer(LaneId::io(0));
+
+        let a = block(&mem, 1000, "a");
+        let b = block(&mem, 1000, "b");
+        let c = block(&mem, 1000, "c");
+        for blk in [a, b] {
+            let deps = vec![dep(blk, AccessMode::ReadOnly)];
+            engine.add_refs(&deps);
+            engine.fetch_all(&deps, &tracer, 0).unwrap();
+            engine.release_refs(&deps);
+            // OnComplete eviction is a no-op under LRU policy.
+            assert_eq!(engine.evict_unreferenced(&deps, &tracer, 0), 0);
+        }
+        assert_eq!(mem.registry().node_of(a), Some(HBM));
+        assert_eq!(mem.registry().node_of(b), Some(HBM));
+        // Fetching c must push out the LRU block (a).
+        let deps_c = vec![dep(c, AccessMode::ReadOnly)];
+        engine.add_refs(&deps_c);
+        engine.fetch_all(&deps_c, &tracer, 0).unwrap();
+        assert_eq!(mem.registry().node_of(c), Some(HBM));
+        assert_eq!(mem.registry().node_of(a), Some(DDR4), "LRU block evicted");
+        assert_eq!(mem.registry().node_of(b), Some(HBM));
+    }
+}

@@ -1,0 +1,151 @@
+//! The assembled memory-heterogeneity-aware runtime.
+//!
+//! [`OocRuntime`] wires the three layers together exactly as §IV
+//! describes: a converse [`Runtime`] whose scheduler intercepts
+//! `[prefetch]` messages, a [`Memory`] subsystem with HBM and DDR4
+//! planes, and one of the scheduling strategies installed as the hook.
+
+use crate::config::{OocConfig, StrategyKind};
+use crate::stats::OocStats;
+use crate::strategy::OocHook;
+use converse::{Runtime, RuntimeBuilder};
+use hetmem::Memory;
+use projections::Trace;
+use std::sync::Arc;
+
+/// A converse runtime + memory subsystem + scheduling strategy.
+pub struct OocRuntime {
+    rt: Arc<Runtime>,
+    mem: Arc<Memory>,
+    hook: Option<Arc<OocHook>>,
+    strategy: StrategyKind,
+    config: OocConfig,
+}
+
+impl OocRuntime {
+    /// Build a runtime with `pes` workers over `mem`, running
+    /// `strategy` under `config`. The runtime shares the memory
+    /// subsystem's clock so traces and bandwidth charges agree.
+    pub fn new(mem: Arc<Memory>, pes: usize, strategy: StrategyKind, config: OocConfig) -> Self {
+        let rt = RuntimeBuilder::new(pes)
+            .clock(Arc::clone(mem.clock()))
+            .build();
+        let hook = match strategy {
+            StrategyKind::Baseline => None,
+            _ => {
+                let hook = OocHook::new(Arc::clone(&rt), Arc::clone(&mem), strategy, config);
+                rt.set_hook(hook.clone());
+                Some(hook)
+            }
+        };
+        Self {
+            rt,
+            mem,
+            hook,
+            strategy,
+            config,
+        }
+    }
+
+    /// The underlying converse runtime (register arrays, send messages).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    /// The memory subsystem.
+    pub fn memory(&self) -> &Arc<Memory> {
+        &self.mem
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OocConfig {
+        &self.config
+    }
+
+    /// Strategy statistics (zeroes under [`StrategyKind::Baseline`]).
+    pub fn stats(&self) -> OocStats {
+        self.hook.as_ref().map(|h| h.stats()).unwrap_or_default()
+    }
+
+    /// Migration statistics from the fetch engine, if a hook is active.
+    pub fn migration_stats(&self) -> Option<hetmem::MigrationStats> {
+        self.hook.as_ref().map(|h| h.migration_stats())
+    }
+
+    /// Current wait-queue lengths (empty for baseline).
+    pub fn wait_queue_lengths(&self) -> Vec<usize> {
+        self.hook
+            .as_ref()
+            .map(|h| h.wait_queue_lengths())
+            .unwrap_or_default()
+    }
+
+    /// Cache hit/miss statistics (cache-mode strategy only).
+    pub fn cache_stats(&self) -> Option<crate::CacheStats> {
+        self.hook.as_ref().and_then(|h| h.cache_stats())
+    }
+
+    /// Wait for quiescence (all messages executed, nothing pending).
+    pub fn wait_quiescence_ms(&self, timeout_ms: u64) -> bool {
+        self.rt.wait_quiescence_ms(timeout_ms)
+    }
+
+    /// Collect the run's trace (drains recorded spans).
+    pub fn finish_trace(&self) -> Trace {
+        self.rt.collector().finish()
+    }
+
+    /// Stop IO threads and PE workers. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if let Some(hook) = &self.hook {
+            hook.shutdown();
+        }
+        self.rt.shutdown();
+    }
+}
+
+impl Drop for OocRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem::Topology;
+
+    #[test]
+    fn baseline_has_no_hook() {
+        let mem = Memory::new(Topology::knl_flat_scaled());
+        let ooc = OocRuntime::new(mem, 1, StrategyKind::Baseline, OocConfig::default());
+        assert_eq!(ooc.stats(), OocStats::default());
+        assert!(ooc.migration_stats().is_none());
+        assert!(ooc.wait_queue_lengths().is_empty());
+        assert!(ooc.wait_quiescence_ms(200));
+        ooc.shutdown();
+    }
+
+    #[test]
+    fn managed_runtime_exposes_hook_state() {
+        let mem = Memory::new(Topology::knl_flat_scaled());
+        let ooc = OocRuntime::new(mem, 2, StrategyKind::multi_io(2), OocConfig::default());
+        assert_eq!(ooc.stats().intercepted, 0);
+        assert!(ooc.migration_stats().is_some());
+        assert_eq!(ooc.wait_queue_lengths(), vec![0, 0]);
+        ooc.shutdown();
+    }
+
+    #[test]
+    fn double_shutdown_is_safe() {
+        let mem = Memory::new(Topology::knl_flat_scaled());
+        let ooc = OocRuntime::new(mem, 1, StrategyKind::SyncFetch, OocConfig::default());
+        ooc.shutdown();
+        ooc.shutdown();
+    }
+}

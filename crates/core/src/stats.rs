@@ -1,0 +1,153 @@
+//! Runtime statistics for the memory-aware layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters shared between strategies and the engine.
+#[derive(Debug, Default)]
+pub struct StatCells {
+    fetches: AtomicU64,
+    fetch_bytes: AtomicU64,
+    evictions: AtomicU64,
+    evict_bytes: AtomicU64,
+    no_space_events: AtomicU64,
+    intercepted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    queue_wait_ns: AtomicU64,
+}
+
+impl StatCells {
+    pub(crate) fn bump_fetches(&self, bytes: u64) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.fetch_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_evictions(&self, bytes: u64) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evict_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_no_space(&self) {
+        self.no_space_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_intercepted(&self) {
+        self.intercepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_queue_wait(&self, ns: u64) {
+        self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> OocStats {
+        OocStats {
+            fetches: self.fetches.load(Ordering::Relaxed),
+            fetch_bytes: self.fetch_bytes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evict_bytes: self.evict_bytes.load(Ordering::Relaxed),
+            no_space_events: self.no_space_events.load(Ordering::Relaxed),
+            intercepted: self.intercepted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics of the memory-aware runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OocStats {
+    /// Blocks moved DDR4 → HBM.
+    pub fetches: u64,
+    /// Bytes moved DDR4 → HBM.
+    pub fetch_bytes: u64,
+    /// Blocks moved HBM → DDR4.
+    pub evictions: u64,
+    /// Bytes moved HBM → DDR4.
+    pub evict_bytes: u64,
+    /// Fetch attempts rejected because HBM was full.
+    pub no_space_events: u64,
+    /// `[prefetch]` messages intercepted.
+    pub intercepted: u64,
+    /// Tasks admitted to run queues.
+    pub admitted: u64,
+    /// Admitted tasks completed.
+    pub completed: u64,
+    /// Total time tasks spent between interception and admission (ns) —
+    /// the per-task wait the paper's Figure 5 visualises.
+    pub queue_wait_ns: u64,
+}
+
+impl OocStats {
+    /// Tasks intercepted but not yet completed.
+    pub fn in_flight(&self) -> u64 {
+        self.intercepted.saturating_sub(self.completed)
+    }
+
+    /// Mean wait-queue delay per admitted task, in milliseconds.
+    pub fn mean_queue_wait_ms(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns as f64 / self.admitted as f64 / 1e6
+        }
+    }
+
+    /// Render a compact report line.
+    pub fn render(&self) -> String {
+        format!(
+            "tasks {}/{}/{} (intercepted/admitted/completed)  fetch {}x {} B  evict {}x {} B  no-space {}",
+            self.intercepted,
+            self.admitted,
+            self.completed,
+            self.fetches,
+            self.fetch_bytes,
+            self.evictions,
+            self.evict_bytes,
+            self.no_space_events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = StatCells::default();
+        c.bump_fetches(100);
+        c.bump_fetches(50);
+        c.bump_evictions(30);
+        c.bump_no_space();
+        c.bump_intercepted();
+        c.bump_admitted();
+        c.bump_completed();
+        let s = c.snapshot();
+        assert_eq!(s.fetches, 2);
+        assert_eq!(s.fetch_bytes, 150);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evict_bytes, 30);
+        assert_eq!(s.no_space_events, 1);
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.render().contains("fetch 2x 150 B"));
+    }
+
+    #[test]
+    fn in_flight_counts_outstanding() {
+        let c = StatCells::default();
+        c.bump_intercepted();
+        c.bump_intercepted();
+        c.bump_completed();
+        assert_eq!(c.snapshot().in_flight(), 1);
+    }
+}

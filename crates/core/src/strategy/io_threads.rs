@@ -1,0 +1,289 @@
+//! Dedicated IO threads — the paper's "Multiple queues, single IO
+//! thread" (one thread), "Multiple queues, multiple IO threads" (one
+//! per PE) and the planned "IO thread per subgroup of wait queues"
+//! (anything in between).
+//!
+//! §IV-B: *"The IO thread then wakes up, locks each wait queue (one per
+//! PE) one by one and pops the first candidate task in the queue. It
+//! then goes through the task's data dependences and for any dependence
+//! that is INDDR, brings it into HBM ... and adds the task to the run
+//! queue of the corresponding PE ... If there are no more tasks in the
+//! wait queue or if allocating a data block would exceed the remaining
+//! HBM capacity, then the IO thread goes to sleep/conditional wait."*
+//!
+//! Like the paper's final implementation, IO threads are *extra*
+//! threads alongside the workers ("scheduled on the hyperthread cores
+//! corresponding to the worker threads"): fetches overlap with
+//! computation instead of stalling it.
+
+use super::Shared;
+use crate::task::OocTask;
+use projections::{LaneId, SpanKind};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Liveness backstop: an IO thread re-scans its queues at least this
+/// often even if a wake-up signal is lost to a race.
+const IDLE_RESCAN_MS: u64 = 5;
+
+/// A pool of IO threads, each serving a contiguous subgroup of wait
+/// queues round-robin.
+pub struct IoThreadPool {
+    shared: Arc<Shared>,
+    threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    groups: usize,
+}
+
+impl IoThreadPool {
+    /// Spawn `threads` IO threads over the shared state's wait queues.
+    pub(super) fn spawn(shared: Arc<Shared>, threads: usize) -> Self {
+        let pool = Self {
+            shared: Arc::clone(&shared),
+            threads: parking_lot::Mutex::new(Vec::new()),
+            groups: threads,
+        };
+        let mut handles = pool.threads.lock();
+        for g in 0..threads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("io{g}"))
+                    .spawn(move || io_loop(shared, g, threads))
+                    .expect("spawn IO thread"),
+            );
+        }
+        drop(handles);
+        pool
+    }
+
+    /// Queue a freshly intercepted task and wake its IO thread.
+    pub(super) fn intercept(&self, task: OocTask) {
+        let q = self.shared.waitq.queue_for_pe(task.pe);
+        let group = self.group_of_queue(q);
+        self.shared.waitq.push(task);
+        self.shared.waitq.signal(group);
+    }
+
+    /// A task completed on `pe` (its eviction already ran): wake the IO
+    /// thread responsible for that PE — space may have been freed.
+    pub(super) fn after_complete(&self, pe: usize) {
+        let q = self.shared.waitq.queue_for_pe(pe);
+        self.shared.waitq.signal(self.group_of_queue(q));
+    }
+
+    /// Which IO thread serves wait queue `q`.
+    fn group_of_queue(&self, q: usize) -> usize {
+        let nqueues = self.shared.waitq.queue_count();
+        let per = nqueues.div_ceil(self.groups);
+        (q / per).min(self.groups - 1)
+    }
+
+    /// Join all IO threads (after `WaitQueues::shutdown`).
+    pub fn join(&self) {
+        let mut handles = self.threads.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The IO thread body: Algorithm 1 of the paper.
+fn io_loop(shared: Arc<Shared>, group: usize, groups: usize) {
+    let tracer = shared.collector.tracer(LaneId::io(group as u32));
+    let clock = Arc::clone(shared.rt.clock());
+    let nqueues = shared.waitq.queue_count();
+    let per = nqueues.div_ceil(groups);
+    let my_queues: Vec<usize> = (group * per..((group + 1) * per).min(nqueues)).collect();
+    if my_queues.is_empty() {
+        return;
+    }
+    // Rotating cursor so all wait queues are served equally (§IV-B's
+    // load-balance argument for one queue per PE).
+    let mut cursor = 0usize;
+    loop {
+        if shared.waitq.is_shutdown() {
+            return;
+        }
+        // Snapshot the generation before scanning: anything signalled
+        // during the scan will be seen by the next wait.
+        let seen = shared.waitq.signal_generation(group);
+        let mut made_progress = false;
+        let mut blocked = false;
+        for i in 0..my_queues.len() {
+            let q = my_queues[(cursor + i) % my_queues.len()];
+            let Some(task) = shared.waitq.pop(q) else {
+                continue;
+            };
+            match shared.try_admit(task, &tracer) {
+                Ok(()) => {
+                    made_progress = true;
+                }
+                Err(task) => {
+                    // HBM is full: put the task back at the head and go
+                    // to sleep until a completion evicts something.
+                    shared.waitq.push_front(task);
+                    blocked = true;
+                    break;
+                }
+            }
+        }
+        cursor = (cursor + 1) % my_queues.len();
+        if made_progress && !blocked {
+            continue;
+        }
+        // Empty queues or no space: conditional wait, with a timed
+        // rescan as a liveness backstop.
+        let t0 = clock.now();
+        shared
+            .waitq
+            .wait_signal_timeout(group, seen, IDLE_RESCAN_MS);
+        let t1 = clock.now();
+        if t1 > t0 {
+            tracer.record(SpanKind::Idle, t0, t1, group as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{OocConfig, StrategyKind, WaitQueueTopology};
+    use crate::handle::IoHandle;
+    use crate::placement::Placement;
+    use crate::strategy::OocHook;
+    use converse::{Chare, CompletionLatch, Dep, EntryId, EntryOptions, ExecCtx, RuntimeBuilder};
+    use hetmem::{AccessMode, Memory, Topology, DDR4, HBM};
+    use std::sync::Arc;
+
+    const EP_COMPUTE: EntryId = EntryId(0);
+
+    struct Summer {
+        data: IoHandle<f64>,
+        latch: Arc<CompletionLatch>,
+        sum: f64,
+    }
+
+    impl Chare for Summer {
+        type Msg = ();
+        fn execute(&mut self, _e: EntryId, _m: (), _c: &mut ExecCtx<'_>) {
+            assert_eq!(self.data.node(), Some(HBM), "block must be staged");
+            self.sum = self.data.read(|xs| xs.iter().sum());
+            self.latch.count_down();
+        }
+        fn deps(&self, _e: EntryId, _m: &()) -> Vec<Dep> {
+            vec![self.data.dep(AccessMode::ReadWrite)]
+        }
+    }
+
+    fn run_with(kind: StrategyKind, config: OocConfig, pes: usize, n: usize) -> crate::OocStats {
+        let block_elems = 512usize;
+        let block_bytes = (block_elems * 8) as u64;
+        // HBM fits 2 blocks: forces continuous fetch/evict turnover.
+        let topo = Topology::knl_flat_scaled_with(2 * block_bytes + 64, 1 << 24);
+        let mem = Memory::new(topo);
+        let rt = RuntimeBuilder::new(pes)
+            .clock(Arc::clone(mem.clock()))
+            .build();
+
+        let latch = Arc::new(CompletionLatch::new(n));
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let h: IoHandle<f64> = IoHandle::new(
+                &mem,
+                block_elems,
+                Placement::DdrOnly,
+                HBM,
+                DDR4,
+                format!("b{i}"),
+            )
+            .unwrap();
+            h.write(|xs| xs.iter_mut().for_each(|x| *x = 2.0));
+            handles.push(h);
+        }
+        let (l2, hs) = (Arc::clone(&latch), handles.clone());
+        let array = rt
+            .array_builder::<Summer>()
+            .entry(EP_COMPUTE, EntryOptions::prefetch())
+            .build(n, move |i| Summer {
+                data: hs[i].clone(),
+                latch: Arc::clone(&l2),
+                sum: 0.0,
+            });
+
+        let hook = OocHook::new(Arc::clone(&rt), Arc::clone(&mem), kind, config);
+        rt.set_hook(hook.clone());
+        for i in 0..n {
+            rt.send(array, i, EP_COMPUTE, ());
+        }
+        assert!(latch.wait_timeout_ms(60_000), "tasks never completed");
+        assert!(rt.wait_quiescence_ms(10_000));
+
+        let arr = rt.array::<Summer>(array);
+        for i in 0..n {
+            assert_eq!(arr.with_chare(i, |c| c.sum), 2.0 * block_elems as f64);
+        }
+        for h in &handles {
+            assert_eq!(h.node(), Some(DDR4), "block not evicted after run");
+        }
+        let stats = hook.stats();
+        hook.shutdown();
+        rt.shutdown();
+        stats
+    }
+
+    #[test]
+    fn single_io_thread_completes_everything() {
+        let stats = run_with(StrategyKind::single_io(), OocConfig::default(), 2, 8);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.fetches, 8);
+        assert_eq!(stats.evictions, 8);
+    }
+
+    #[test]
+    fn multiple_io_threads_complete_everything() {
+        let stats = run_with(StrategyKind::multi_io(2), OocConfig::default(), 2, 8);
+        assert_eq!(stats.completed, 8);
+    }
+
+    #[test]
+    fn subgroup_io_threads_complete_everything() {
+        // 4 PEs served by 2 IO threads — the paper's planned subgroup
+        // configuration.
+        let stats = run_with(
+            StrategyKind::IoThreads { threads: 2 },
+            OocConfig::default(),
+            4,
+            12,
+        );
+        assert_eq!(stats.completed, 12);
+    }
+
+    #[test]
+    fn shared_wait_queue_ablation_still_completes() {
+        let config = OocConfig {
+            wait_queues: WaitQueueTopology::SharedSingle,
+            ..OocConfig::default()
+        };
+        let stats = run_with(StrategyKind::single_io(), config, 2, 8);
+        assert_eq!(stats.completed, 8);
+    }
+
+    #[test]
+    fn node_level_run_queue_ablation_still_completes() {
+        let config = OocConfig {
+            node_level_run_queue: true,
+            ..OocConfig::default()
+        };
+        let stats = run_with(StrategyKind::multi_io(2), config, 2, 8);
+        assert_eq!(stats.completed, 8);
+    }
+
+    #[test]
+    fn memory_pool_ablation_still_completes() {
+        let config = OocConfig {
+            use_memory_pool: true,
+            ..OocConfig::default()
+        };
+        let stats = run_with(StrategyKind::multi_io(2), config, 2, 6);
+        assert_eq!(stats.completed, 6);
+    }
+}

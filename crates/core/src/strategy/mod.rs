@@ -1,0 +1,274 @@
+//! The §IV-B scheduling strategies, installed as converse scheduler
+//! hooks.
+//!
+//! All three managed strategies share the same skeleton:
+//!
+//! 1. **Interception (pre-processing).** The Converse scheduler hands an
+//!    unadmitted `[prefetch]` message to [`OocHook::on_intercept`]. The
+//!    message plus its declared dependences become an [`OocTask`].
+//! 2. **Fetch & admission.** Someone — the worker itself
+//!    ([`StrategyKind::SyncFetch`]) or an IO thread
+//!    ([`StrategyKind::IoThreads`]) — references the task's blocks,
+//!    brings them into HBM under the capacity budget, stamps the
+//!    envelope with a token and re-injects it onto a run queue.
+//! 3. **Completion (post-processing).** After execution the scheduler
+//!    calls [`OocHook::on_complete`]: the task's references are dropped
+//!    and zero-refcount blocks are evicted to DDR4 on the worker thread
+//!    (the paper's "it evicts its own data"), then whoever might now be
+//!    able to make progress is woken.
+
+mod cache_mode;
+mod io_threads;
+mod sync_fetch;
+
+pub use cache_mode::{CacheState, CacheStats};
+pub use io_threads::IoThreadPool;
+
+use crate::config::{OocConfig, StrategyKind};
+use crate::engine::{FetchEngine, FetchError};
+use crate::stats::StatCells;
+use crate::task::{OocTask, TaskRegistry};
+use crate::waitqueue::WaitQueues;
+use converse::{Envelope, ExecutedTask, Runtime, SchedulerHook};
+use hetmem::Memory;
+use projections::{LaneId, TraceCollector, Tracer};
+use std::sync::Arc;
+
+/// State shared by every strategy flavour.
+pub(crate) struct Shared {
+    pub rt: Arc<Runtime>,
+    pub engine: FetchEngine,
+    pub tasks: TaskRegistry,
+    pub waitq: Arc<WaitQueues>,
+    pub stats: Arc<StatCells>,
+    pub collector: Arc<TraceCollector>,
+    pub node_level_run_queue: bool,
+}
+
+impl Shared {
+    /// Worker-lane tracer for `pe`.
+    pub fn worker_tracer(&self, pe: usize) -> Arc<Tracer> {
+        self.collector.tracer(LaneId::worker(pe as u32))
+    }
+
+    /// Wrap an intercepted envelope as an [`OocTask`].
+    pub fn make_task(&self, pe: usize, env: Envelope) -> OocTask {
+        let deps = self.rt.deps_for(&env);
+        self.stats.bump_intercepted();
+        OocTask {
+            deps,
+            pe,
+            env,
+            enqueued_at: self.rt.clock().now(),
+        }
+    }
+
+    /// Reference, fetch and (on success) admit a task. On `NoSpace` the
+    /// references are released, the task's own already-fetched blocks
+    /// are evicted back (so a stalled fetch cannot strand HBM
+    /// capacity), and the task is returned to the caller.
+    pub fn try_admit(&self, task: OocTask, tracer: &Tracer) -> Result<(), OocTask> {
+        let tag = task.env.index as u32;
+        self.engine.add_refs(&task.deps);
+        match self.engine.fetch_all(&task.deps, tracer, tag) {
+            Ok(()) => {
+                self.admit(task);
+                Ok(())
+            }
+            Err(FetchError::NoSpace) => {
+                self.engine.release_refs(&task.deps);
+                self.engine.evict_unreferenced(&task.deps, tracer, tag);
+                Err(task)
+            }
+            Err(e @ FetchError::TaskTooLarge { .. }) => {
+                panic!(
+                    "task for chare {} can never be scheduled: {e} — \
+                     reduce the over-decomposed working-set size",
+                    task.env.index
+                );
+            }
+        }
+    }
+
+    /// Admit a task whose dependences were staged (or deliberately
+    /// bypassed) by a strategy that manages residency itself — the
+    /// cache-mode path. Refs are already held.
+    pub fn admit_prepared(&self, task: OocTask) {
+        self.admit(task);
+    }
+
+    /// Stamp and inject an admitted task (its deps are in HBM, refs
+    /// held).
+    fn admit(&self, task: OocTask) {
+        let OocTask {
+            mut env,
+            deps,
+            pe,
+            enqueued_at,
+        } = task;
+        let token = self.tasks.admit(deps);
+        env.admitted = true;
+        env.token = token;
+        let now = self.rt.clock().now();
+        self.stats.bump_queue_wait(now.saturating_sub(enqueued_at));
+        self.stats.bump_admitted();
+        let target = if self.node_level_run_queue {
+            self.rt.least_loaded_pe()
+        } else {
+            pe
+        };
+        self.rt.inject(target, env);
+    }
+
+    /// Post-processing shared by all strategies: release the finished
+    /// task's references and evict its now-unreferenced blocks on the
+    /// calling (worker) thread.
+    pub fn finish_task(&self, done: &ExecutedTask) {
+        let deps = self
+            .tasks
+            .complete(done.token)
+            .expect("completed task must have been admitted");
+        let tracer = self.worker_tracer(done.pe);
+        self.engine.release_refs(&deps);
+        self.engine
+            .evict_unreferenced(&deps, &tracer, done.index as u32);
+        // Count the task completed only after its eviction finished, so
+        // quiescence covers the whole post-processing step.
+        self.stats.bump_completed();
+    }
+
+    /// The memory subsystem.
+    #[allow(dead_code)]
+    pub fn memory(&self) -> &Arc<Memory> {
+        self.engine.memory()
+    }
+}
+
+/// Strategy-specific behaviour behind the shared skeleton.
+enum Flavour {
+    /// Workers fetch/evict synchronously ("Multiple queues, no IO
+    /// thread").
+    Sync,
+    /// Dedicated IO threads fetch ("single IO thread" / "multiple IO
+    /// threads" / subgroups).
+    Io(IoThreadPool),
+    /// HBM as a direct-mapped, demand-filled cache (the paper's
+    /// deferred cache-mode comparison).
+    Cache(CacheState),
+}
+
+/// The installable scheduler hook implementing the paper's strategies.
+pub struct OocHook {
+    shared: Arc<Shared>,
+    flavour: Flavour,
+}
+
+impl OocHook {
+    /// Build the hook (and spawn IO threads if the strategy uses them).
+    ///
+    /// Panics on [`StrategyKind::Baseline`]: the baseline is "no hook
+    /// installed" — construct nothing instead.
+    pub fn new(
+        rt: Arc<Runtime>,
+        mem: Arc<Memory>,
+        kind: StrategyKind,
+        config: OocConfig,
+    ) -> Arc<Self> {
+        let stats = Arc::new(StatCells::default());
+        let io_threads = match kind {
+            StrategyKind::Baseline => {
+                panic!("Baseline runs without a hook; do not construct OocHook for it")
+            }
+            StrategyKind::SyncFetch | StrategyKind::CacheMode { .. } => 0,
+            StrategyKind::IoThreads { threads } => {
+                assert!(threads > 0, "need at least one IO thread");
+                threads
+            }
+        };
+        let waitq = Arc::new(WaitQueues::new(
+            config.wait_queues,
+            rt.pes(),
+            io_threads.max(1),
+        ));
+        let collector = Arc::clone(rt.collector());
+        let shared = Arc::new(Shared {
+            engine: FetchEngine::new(mem, config, Arc::clone(&stats)),
+            tasks: TaskRegistry::new(),
+            waitq,
+            stats,
+            collector,
+            node_level_run_queue: config.node_level_run_queue,
+            rt,
+        });
+        let flavour = match kind {
+            StrategyKind::SyncFetch => Flavour::Sync,
+            StrategyKind::IoThreads { threads } => {
+                Flavour::Io(IoThreadPool::spawn(Arc::clone(&shared), threads))
+            }
+            StrategyKind::CacheMode { sets } => Flavour::Cache(CacheState::new(sets)),
+            StrategyKind::Baseline => unreachable!(),
+        };
+        Arc::new(Self { shared, flavour })
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> crate::OocStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Migration statistics (from the fetch engine).
+    pub fn migration_stats(&self) -> hetmem::MigrationStats {
+        self.shared.engine.migration_stats()
+    }
+
+    /// Current wait-queue lengths (load-imbalance diagnostics).
+    pub fn wait_queue_lengths(&self) -> Vec<usize> {
+        self.shared.waitq.lengths()
+    }
+
+    /// Cache hit/miss statistics (cache-mode strategy only).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match &self.flavour {
+            Flavour::Cache(state) => Some(state.stats()),
+            _ => None,
+        }
+    }
+
+    /// Stop IO threads and join them. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.waitq.shutdown();
+        if let Flavour::Io(pool) = &self.flavour {
+            pool.join();
+        }
+    }
+}
+
+impl SchedulerHook for OocHook {
+    fn on_intercept(&self, pe: usize, env: Envelope) {
+        let task = self.shared.make_task(pe, env);
+        match &self.flavour {
+            Flavour::Sync => sync_fetch::intercept(&self.shared, task),
+            Flavour::Io(pool) => pool.intercept(task),
+            Flavour::Cache(state) => cache_mode::intercept(&self.shared, state, task),
+        }
+    }
+
+    fn on_complete(&self, done: ExecutedTask) {
+        self.shared.finish_task(&done);
+        match &self.flavour {
+            Flavour::Sync => sync_fetch::after_complete(&self.shared, done.pe),
+            Flavour::Io(pool) => pool.after_complete(done.pe),
+            Flavour::Cache(state) => cache_mode::after_complete(&self.shared, done.pe, state),
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.shared.stats.snapshot().in_flight() as usize
+    }
+}
+
+impl Drop for OocHook {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

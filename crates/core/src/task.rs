@@ -1,0 +1,138 @@
+//! OOC tasks: intercepted entry-method invocations bundled with their
+//! data dependences.
+//!
+//! §IV-B: *"the object along with its input dependences, i.e the input
+//! data that were annotated as specified in IV-A and input message are
+//! encapsulated as an OOCTask."*
+//!
+//! The [`TaskRegistry`] maps the token stamped into an admitted
+//! envelope back to the task's dependence list, so the post-processing
+//! step (eviction) knows what the finished task was holding.
+
+use converse::{Dep, Envelope};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An intercepted `[prefetch]` invocation waiting for its data.
+pub struct OocTask {
+    /// The original message (re-injected on admission).
+    pub env: Envelope,
+    /// Declared dependences of the entry method for this message.
+    pub deps: Vec<Dep>,
+    /// Home PE of the target chare.
+    pub pe: usize,
+    /// Clock time at interception (measures wait-queue delay).
+    pub enqueued_at: u64,
+}
+
+impl OocTask {
+    /// Total bytes of dependences *not yet* resident on `node` — what a
+    /// fetch still has to move.
+    pub fn missing_bytes(&self, registry: &hetmem::BlockRegistry, node: hetmem::NodeId) -> u64 {
+        self.deps
+            .iter()
+            .filter(|d| registry.node_of(d.block) != Some(node))
+            .map(|d| registry.size_of(d.block) as u64)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for OocTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OocTask")
+            .field("env", &self.env)
+            .field("deps", &self.deps.len())
+            .field("pe", &self.pe)
+            .finish()
+    }
+}
+
+/// Records of admitted tasks, keyed by envelope token.
+#[derive(Default)]
+pub struct TaskRegistry {
+    next_token: AtomicU64,
+    records: Mutex<HashMap<u64, Vec<Dep>>>,
+}
+
+impl TaskRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a task's dependences and return the token to stamp into
+    /// its envelope. Tokens start at 1 (0 means "never admitted").
+    pub fn admit(&self, deps: Vec<Dep>) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed) + 1;
+        self.records.lock().insert(token, deps);
+        token
+    }
+
+    /// Remove and return the dependences for a completed task.
+    pub fn complete(&self, token: u64) -> Option<Vec<Dep>> {
+        self.records.lock().remove(&token)
+    }
+
+    /// Number of admitted-but-not-completed tasks.
+    pub fn in_flight(&self) -> usize {
+        self.records.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use converse::{ArrayId, EntryId};
+    use hetmem::{AccessMode, BlockId};
+
+    fn dep(b: u32) -> Dep {
+        Dep {
+            block: BlockId(b),
+            mode: AccessMode::ReadWrite,
+        }
+    }
+
+    #[test]
+    fn admit_complete_round_trip() {
+        let reg = TaskRegistry::new();
+        let t1 = reg.admit(vec![dep(1), dep(2)]);
+        let t2 = reg.admit(vec![dep(3)]);
+        assert_ne!(t1, 0, "tokens must be nonzero");
+        assert_ne!(t1, t2);
+        assert_eq!(reg.in_flight(), 2);
+        let deps = reg.complete(t1).unwrap();
+        assert_eq!(deps.len(), 2);
+        assert_eq!(reg.in_flight(), 1);
+        assert!(reg.complete(t1).is_none(), "double completion is caught");
+    }
+
+    #[test]
+    fn missing_bytes_counts_non_resident_deps() {
+        let topo = hetmem::Topology::knl_flat_scaled();
+        let mem = hetmem::Memory::new(topo);
+        let on_ddr = mem
+            .registry()
+            .register(mem.alloc_on_node(100, hetmem::DDR4).unwrap(), "d");
+        let on_hbm = mem
+            .registry()
+            .register(mem.alloc_on_node(40, hetmem::HBM).unwrap(), "h");
+        let task = OocTask {
+            env: Envelope::new(ArrayId(0), 0, EntryId(0), Box::new(())),
+            deps: vec![
+                Dep {
+                    block: on_ddr,
+                    mode: AccessMode::ReadWrite,
+                },
+                Dep {
+                    block: on_hbm,
+                    mode: AccessMode::ReadOnly,
+                },
+            ],
+            pe: 0,
+            enqueued_at: 0,
+        };
+        assert_eq!(task.missing_bytes(mem.registry(), hetmem::HBM), 100);
+        assert_eq!(task.missing_bytes(mem.registry(), hetmem::DDR4), 40);
+    }
+}

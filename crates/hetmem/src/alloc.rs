@@ -1,0 +1,295 @@
+//! Capacity-accounted node allocators and aligned buffers.
+//!
+//! [`NodeAllocator::alloc`] is the software twin of `numa_alloc_onnode`
+//! (§IV-C of the paper): it hands out real, 64-byte-aligned heap memory
+//! while debiting a per-node byte budget, and fails — like the real call
+//! on a full MCDRAM — when the budget is exhausted. Freeing (dropping the
+//! buffer) credits the budget back, mirroring `numa_free`.
+
+use crate::error::MemError;
+use crate::node::NodeId;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache-line alignment used for all node allocations.
+pub const BUF_ALIGN: usize = 64;
+
+/// Book-keeping shared between an allocator and the buffers it produced,
+/// so a buffer can credit the budget back when dropped even if it
+/// outlives the `Memory` façade's borrow.
+#[derive(Debug)]
+struct Budget {
+    capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    allocs: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Budget {
+    fn try_reserve(&self, bytes: u64) -> Result<(), u64> {
+        // CAS loop so concurrent allocations can never overshoot the
+        // budget (fetch_add + rollback would transiently overshoot and
+        // spuriously fail concurrent allocators).
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            if cur + bytes > self.capacity {
+                return Err(self.capacity - cur.min(self.capacity));
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                cur + bytes,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(cur + bytes, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: u64) {
+        let prev = self.used.fetch_sub(bytes, Ordering::AcqRel);
+        debug_assert!(prev >= bytes, "budget release underflow");
+    }
+}
+
+/// Allocator for one memory node.
+#[derive(Debug)]
+pub struct NodeAllocator {
+    budget: Arc<Budget>,
+}
+
+impl NodeAllocator {
+    /// A new allocator with `capacity` bytes of budget.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            budget: Arc::new(Budget {
+                capacity,
+                used: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+                allocs: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Allocate `size` zeroed bytes on `node`, debiting the budget.
+    pub fn alloc(&self, size: usize, node: NodeId) -> Result<AlignedBuf, MemError> {
+        if let Err(available) = self.budget.try_reserve(size as u64) {
+            self.budget.failed.fetch_add(1, Ordering::Relaxed);
+            return Err(MemError::CapacityExceeded {
+                node,
+                requested: size as u64,
+                available,
+            });
+        }
+        self.budget.allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(AlignedBuf::new(size, node, Arc::clone(&self.budget)))
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.budget.used.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_used(&self) -> u64 {
+        self.budget.peak.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available under the budget.
+    pub fn available(&self) -> u64 {
+        self.budget.capacity.saturating_sub(self.used())
+    }
+
+    /// Capacity budget in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.budget.capacity
+    }
+
+    /// Number of successful allocations.
+    pub fn alloc_count(&self) -> u64 {
+        self.budget.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Number of allocations rejected for capacity.
+    pub fn failed_alloc_count(&self) -> u64 {
+        self.budget.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// A real, owned, 64-byte-aligned, zero-initialised byte buffer tagged
+/// with the memory node it is accounted against.
+///
+/// Dropping the buffer frees the memory and credits the node budget —
+/// the `numa_free` step of the paper's migration routine.
+pub struct AlignedBuf {
+    ptr: NonNull<u8>,
+    len: usize,
+    node: NodeId,
+    budget: Arc<Budget>,
+}
+
+// SAFETY: the buffer owns its allocation exclusively; aliasing discipline
+// for shared access is enforced by the BlockRegistry layer above.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    fn new(len: usize, node: NodeId, budget: Arc<Budget>) -> Self {
+        let ptr = if len == 0 {
+            NonNull::<u8>::dangling()
+        } else {
+            let layout = Layout::from_size_align(len, BUF_ALIGN).expect("valid layout");
+            // SAFETY: layout has non-zero size here.
+            let raw = unsafe { alloc_zeroed(layout) };
+            NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout))
+        };
+        Self {
+            ptr,
+            len,
+            node,
+            budget,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The node this buffer is accounted against.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Shared view of the bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr/len describe our exclusive allocation (or a
+        // dangling pointer with len 0, which is a valid empty slice).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Exclusive view of the bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above, plus &mut self guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Raw base pointer (used by the registry's checked-access guards).
+    pub(crate) fn base_ptr(&self) -> NonNull<u8> {
+        self.ptr
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            let layout = Layout::from_size_align(self.len, BUF_ALIGN).expect("valid layout");
+            // SAFETY: ptr was produced by alloc_zeroed with this layout.
+            unsafe { dealloc(self.ptr.as_ptr(), layout) };
+        }
+        self.budget.release(self.len as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::HBM;
+
+    #[test]
+    fn alloc_is_zeroed_aligned_and_accounted() {
+        let a = NodeAllocator::new(1 << 20);
+        let buf = a.alloc(4096, HBM).unwrap();
+        assert_eq!(buf.len(), 4096);
+        assert_eq!(buf.as_slice().iter().copied().max(), Some(0));
+        assert_eq!(buf.as_slice().as_ptr() as usize % BUF_ALIGN, 0);
+        assert_eq!(a.used(), 4096);
+        drop(buf);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.peak_used(), 4096);
+        assert_eq!(a.alloc_count(), 1);
+    }
+
+    #[test]
+    fn zero_sized_alloc_is_fine() {
+        let a = NodeAllocator::new(16);
+        let buf = a.alloc(0, HBM).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(a.used(), 0);
+    }
+
+    #[test]
+    fn exact_fit_succeeds_then_fails() {
+        let a = NodeAllocator::new(100);
+        let b = a.alloc(100, HBM).unwrap();
+        assert_eq!(a.available(), 0);
+        let err = a.alloc(1, HBM).unwrap_err();
+        match err {
+            MemError::CapacityExceeded { available, .. } => assert_eq!(available, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(a.failed_alloc_count(), 1);
+        drop(b);
+        assert!(a.alloc(100, HBM).is_ok());
+    }
+
+    #[test]
+    fn writes_persist() {
+        let a = NodeAllocator::new(1 << 16);
+        let mut buf = a.alloc(128, HBM).unwrap();
+        for (i, b) in buf.as_mut_slice().iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        assert_eq!(buf.as_slice()[7], 7);
+        assert_eq!(buf.as_slice()[127], 127);
+    }
+
+    #[test]
+    fn concurrent_allocations_never_overshoot() {
+        let a = std::sync::Arc::new(NodeAllocator::new(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = std::sync::Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                // Hold every successful allocation until the thread ends,
+                // so concurrent budget pressure is real.
+                let mut kept = Vec::new();
+                for _ in 0..50 {
+                    if let Ok(b) = a.alloc(10, HBM) {
+                        assert!(a.used() <= 1000, "budget overshoot");
+                        kept.push(b);
+                    }
+                }
+                kept.len()
+            }));
+        }
+        // Aggregate successes depend on interleaving, but the budget can
+        // never be overshot and everything must be credited back.
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total >= 100, "at least the budget's worth must succeed");
+        assert_eq!(a.used(), 0); // all dropped at thread end
+        assert!(a.peak_used() <= 1000);
+    }
+}

@@ -1,0 +1,714 @@
+//! Runtime-tracked data blocks: the substrate behind the paper's
+//! `CkIOHandle`.
+//!
+//! Each block is a byte buffer that lives on exactly one memory node at a
+//! time. The registry tracks, per block:
+//!
+//! * **Residency** — `INHBM` / `INDDR` in the paper's terms, plus the
+//!   transitional `Moving` state a fetch or eviction passes through;
+//! * **Reference count** — "incremented every time a task depending on
+//!   the block is scheduled" (§IV-B); eviction is only legal at zero;
+//! * **Access accounting** — every kernel access goes through a checked
+//!   [`AccessGuard`] so racy reads/writes (multiple writers, writer
+//!   racing readers, access during migration) abort loudly instead of
+//!   corrupting data. This is the safety net Charm++ gets from its
+//!   owner-computes discipline; here it is enforced at runtime.
+
+use crate::alloc::AlignedBuf;
+use crate::node::NodeId;
+use parking_lot::{Condvar, Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a registered block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index form.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// How an entry method uses a dependence block — the paper's
+/// `readonly` / `readwrite` / `writeonly` annotations (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// Input only; may be shared by concurrent tasks.
+    ReadOnly,
+    /// Read and written; exclusive.
+    ReadWrite,
+    /// Written without reading previous contents; exclusive.
+    WriteOnly,
+}
+
+impl AccessMode {
+    /// Whether this mode needs exclusive access.
+    pub fn is_exclusive(self) -> bool {
+        !matches!(self, AccessMode::ReadOnly)
+    }
+
+    /// Whether the previous contents must be transferred on fetch.
+    /// (A `writeonly` block's old bytes never feed the kernel, so a
+    /// fetch may skip the copy; we still move the buffer.)
+    pub fn reads_old_contents(self) -> bool {
+        !matches!(self, AccessMode::WriteOnly)
+    }
+}
+
+/// Where a block currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Residency {
+    /// Fully resident on one node (`INHBM` / `INDDR`).
+    Resident(NodeId),
+    /// Mid-migration between two nodes.
+    Moving {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl Residency {
+    /// The node the block is on, if not mid-move.
+    pub fn node(self) -> Option<NodeId> {
+        match self {
+            Residency::Resident(n) => Some(n),
+            Residency::Moving { .. } => None,
+        }
+    }
+}
+
+/// Snapshot of one block's metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Block id.
+    pub id: BlockId,
+    /// Payload size in bytes.
+    pub size: usize,
+    /// Current residency.
+    pub residency: Residency,
+    /// Scheduled-task reference count.
+    pub refcount: u32,
+    /// Label supplied at registration (debugging / traces).
+    pub label: String,
+    /// Monotonic use counter value at last access (LRU ablation).
+    pub last_touch: u64,
+}
+
+struct BlockMeta {
+    size: usize,
+    residency: Residency,
+    buf: Option<AlignedBuf>,
+    refcount: u32,
+    readers: u32,
+    writer: bool,
+    last_touch: u64,
+    label: String,
+}
+
+struct BlockSlot {
+    meta: Mutex<BlockMeta>,
+    cond: Condvar,
+}
+
+/// The shared block metadata store.
+pub struct BlockRegistry {
+    slots: RwLock<Vec<Arc<BlockSlot>>>,
+    touch_counter: AtomicU64,
+}
+
+impl Default for BlockRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            slots: RwLock::new(Vec::new()),
+            touch_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a freshly allocated buffer as a tracked block.
+    pub fn register(&self, buf: AlignedBuf, label: impl Into<String>) -> BlockId {
+        let meta = BlockMeta {
+            size: buf.len(),
+            residency: Residency::Resident(buf.node()),
+            buf: Some(buf),
+            refcount: 0,
+            readers: 0,
+            writer: false,
+            last_touch: 0,
+            label: label.into(),
+        };
+        let slot = Arc::new(BlockSlot {
+            meta: Mutex::new(meta),
+            cond: Condvar::new(),
+        });
+        let mut slots = self.slots.write();
+        slots.push(slot);
+        BlockId((slots.len() - 1) as u32)
+    }
+
+    fn slot(&self, id: BlockId) -> Arc<BlockSlot> {
+        self.slots.read()[id.index()].clone()
+    }
+
+    /// Number of registered blocks.
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// True if no blocks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of a block's metadata.
+    pub fn info(&self, id: BlockId) -> BlockInfo {
+        let slot = self.slot(id);
+        let m = slot.meta.lock();
+        BlockInfo {
+            id,
+            size: m.size,
+            residency: m.residency,
+            refcount: m.refcount,
+            label: m.label.clone(),
+            last_touch: m.last_touch,
+        }
+    }
+
+    /// The node a block currently resides on (None while moving).
+    pub fn node_of(&self, id: BlockId) -> Option<NodeId> {
+        let slot = self.slot(id);
+        let m = slot.meta.lock();
+        m.residency.node()
+    }
+
+    /// Payload size of a block.
+    pub fn size_of(&self, id: BlockId) -> usize {
+        let slot = self.slot(id);
+        let size = slot.meta.lock().size;
+        size
+    }
+
+    /// Increment the scheduled-task reference count.
+    pub fn add_ref(&self, id: BlockId) -> u32 {
+        let slot = self.slot(id);
+        let mut m = slot.meta.lock();
+        m.refcount += 1;
+        let rc = m.refcount;
+        drop(m);
+        rc
+    }
+
+    /// Decrement the reference count, returning the new value.
+    pub fn release_ref(&self, id: BlockId) -> u32 {
+        let slot = self.slot(id);
+        let mut m = slot.meta.lock();
+        assert!(m.refcount > 0, "refcount underflow on {id}");
+        m.refcount -= 1;
+        let rc = m.refcount;
+        drop(m);
+        slot.cond.notify_all();
+        rc
+    }
+
+    /// Current reference count.
+    pub fn refcount(&self, id: BlockId) -> u32 {
+        let slot = self.slot(id);
+        let rc = slot.meta.lock().refcount;
+        rc
+    }
+
+    /// Begin a migration: atomically verify the block is resident (and,
+    /// if `require_unreferenced`, that its refcount is zero), has no
+    /// active accessors, and mark it `Moving`, taking the source buffer.
+    ///
+    /// Returns the source buffer and node. Callers must finish with
+    /// [`BlockRegistry::complete_move`] or [`BlockRegistry::abort_move`].
+    pub fn begin_move(
+        &self,
+        id: BlockId,
+        to: NodeId,
+        require_unreferenced: bool,
+    ) -> Result<(AlignedBuf, NodeId), crate::MemError> {
+        let slot = self.slot(id);
+        let mut m = slot.meta.lock();
+        let from = match m.residency {
+            Residency::Resident(n) => n,
+            Residency::Moving { .. } => {
+                return Err(crate::MemError::InvalidState {
+                    block: id.0 as u64,
+                    reason: "already moving",
+                })
+            }
+        };
+        if from == to {
+            return Err(crate::MemError::SameNode(to));
+        }
+        if require_unreferenced && m.refcount > 0 {
+            return Err(crate::MemError::InvalidState {
+                block: id.0 as u64,
+                reason: "refcount nonzero",
+            });
+        }
+        // Wait out transient accessors; bail if the block becomes
+        // referenced while we wait (a task got scheduled on it).
+        while m.readers > 0 || m.writer {
+            slot.cond.wait(&mut m);
+            if require_unreferenced && m.refcount > 0 {
+                return Err(crate::MemError::InvalidState {
+                    block: id.0 as u64,
+                    reason: "refcount became nonzero during move admission",
+                });
+            }
+        }
+        let buf = m.buf.take().expect("resident block must have a buffer");
+        m.residency = Residency::Moving { from, to };
+        Ok((buf, from))
+    }
+
+    /// Finish a migration: install the destination buffer.
+    pub fn complete_move(&self, id: BlockId, new_buf: AlignedBuf) {
+        let slot = self.slot(id);
+        let mut m = slot.meta.lock();
+        debug_assert!(matches!(m.residency, Residency::Moving { .. }));
+        debug_assert_eq!(new_buf.len(), m.size);
+        m.residency = Residency::Resident(new_buf.node());
+        m.buf = Some(new_buf);
+        drop(m);
+        slot.cond.notify_all();
+    }
+
+    /// Abort a migration (e.g. destination allocation failed): restore
+    /// the source buffer.
+    pub fn abort_move(&self, id: BlockId, src_buf: AlignedBuf) {
+        let slot = self.slot(id);
+        let mut m = slot.meta.lock();
+        debug_assert!(matches!(m.residency, Residency::Moving { .. }));
+        m.residency = Residency::Resident(src_buf.node());
+        m.buf = Some(src_buf);
+        drop(m);
+        slot.cond.notify_all();
+    }
+
+    /// Block until the block is resident (not mid-move), returning its
+    /// node.
+    pub fn wait_resident(&self, id: BlockId) -> NodeId {
+        let slot = self.slot(id);
+        let mut m = slot.meta.lock();
+        loop {
+            if let Residency::Resident(n) = m.residency {
+                return n;
+            }
+            slot.cond.wait(&mut m);
+        }
+    }
+
+    /// Acquire checked access to a block's bytes for a kernel.
+    ///
+    /// Waits while the block is mid-migration, then registers the access
+    /// (shared for [`AccessMode::ReadOnly`], exclusive otherwise) and
+    /// returns a guard exposing the raw bytes. Conflicting concurrent
+    /// access — two writers, or a writer racing readers — panics: it
+    /// means the scheduling discipline above this layer is broken.
+    pub fn access(&self, id: BlockId, mode: AccessMode) -> AccessGuard {
+        let slot = self.slot(id);
+        let mut m = slot.meta.lock();
+        while matches!(m.residency, Residency::Moving { .. }) {
+            slot.cond.wait(&mut m);
+        }
+        if mode.is_exclusive() {
+            assert!(
+                m.readers == 0 && !m.writer,
+                "exclusive access to {id} ({}) while {} readers, writer={}",
+                m.label,
+                m.readers,
+                m.writer
+            );
+            m.writer = true;
+        } else {
+            assert!(
+                !m.writer,
+                "shared access to {id} ({}) while a writer is active",
+                m.label
+            );
+            m.readers += 1;
+        }
+        m.last_touch = self.touch_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let buf = m.buf.as_ref().expect("resident block must have a buffer");
+        let ptr = buf.base_ptr();
+        let len = buf.len();
+        let node = buf.node();
+        drop(m);
+        AccessGuard {
+            slot,
+            id,
+            mode,
+            ptr,
+            len,
+            node,
+        }
+    }
+
+    /// Blocks currently resident on `node`, least-recently-touched first
+    /// (used by the LRU-eviction ablation).
+    pub fn resident_on(&self, node: NodeId) -> Vec<BlockId> {
+        let slots = self.slots.read();
+        let mut out: Vec<(u64, BlockId)> = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let m = slot.meta.lock();
+            if m.residency == Residency::Resident(node) {
+                out.push((m.last_touch, BlockId(i as u32)));
+            }
+        }
+        out.sort_unstable();
+        out.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Total payload bytes resident on `node`.
+    pub fn resident_bytes_on(&self, node: NodeId) -> u64 {
+        let slots = self.slots.read();
+        slots
+            .iter()
+            .map(|slot| {
+                let m = slot.meta.lock();
+                if m.residency == Residency::Resident(node) {
+                    m.size as u64
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+}
+
+/// Checked access to one block's bytes. Releases the access registration
+/// on drop.
+pub struct AccessGuard {
+    slot: Arc<BlockSlot>,
+    id: BlockId,
+    mode: AccessMode,
+    ptr: NonNull<u8>,
+    len: usize,
+    node: NodeId,
+}
+
+// SAFETY: the guard's pointer stays valid while the guard is alive —
+// begin_move waits for readers/writer to drain before taking the buffer,
+// and the buffer is only dropped through a completed move.
+unsafe impl Send for AccessGuard {}
+
+impl AccessGuard {
+    /// The block this guard accesses.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The node the bytes live on (fixed for the guard's lifetime).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the block has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes, shared.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: see struct-level invariant.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The bytes, exclusive. Panics if the guard is read-only.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        assert!(
+            self.mode.is_exclusive(),
+            "bytes_mut on a ReadOnly guard for {}",
+            self.id
+        );
+        // SAFETY: exclusive registration plus &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Typed shared view. Panics on misaligned or ill-sized payloads.
+    pub fn as_slice<T: Pod>(&self) -> &[T] {
+        let bytes = self.bytes();
+        cast_slice(bytes)
+    }
+
+    /// Typed exclusive view.
+    pub fn as_mut_slice<T: Pod>(&mut self) -> &mut [T] {
+        let bytes = self.bytes_mut();
+        cast_slice_mut(bytes)
+    }
+}
+
+impl Drop for AccessGuard {
+    fn drop(&mut self) {
+        let mut m = self.slot.meta.lock();
+        if self.mode.is_exclusive() {
+            debug_assert!(m.writer);
+            m.writer = false;
+        } else {
+            debug_assert!(m.readers > 0);
+            m.readers -= 1;
+        }
+        drop(m);
+        self.slot.cond.notify_all();
+    }
+}
+
+/// Marker for plain-old-data element types that may alias a byte buffer.
+///
+/// # Safety
+/// Implementors must be valid for every bit pattern and contain no
+/// padding or pointers.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % size, 0, "payload not a whole number of T");
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "payload misaligned for T"
+    );
+    // SAFETY: size/alignment checked; T is Pod.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / size) }
+}
+
+fn cast_slice_mut<T: Pod>(bytes: &mut [u8]) -> &mut [T] {
+    let size = std::mem::size_of::<T>();
+    assert_eq!(bytes.len() % size, 0, "payload not a whole number of T");
+    assert_eq!(
+        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
+        0,
+        "payload misaligned for T"
+    );
+    // SAFETY: size/alignment checked; T is Pod.
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast(), bytes.len() / size) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::NodeAllocator;
+    use crate::node::{DDR4, HBM};
+
+    fn registry_with_block(size: usize) -> (BlockRegistry, BlockId, NodeAllocator) {
+        let alloc = NodeAllocator::new(1 << 24);
+        let reg = BlockRegistry::new();
+        let buf = alloc.alloc(size, DDR4).unwrap();
+        let id = reg.register(buf, "test");
+        (reg, id, alloc)
+    }
+
+    #[test]
+    fn register_and_info() {
+        let (reg, id, _a) = registry_with_block(1024);
+        let info = reg.info(id);
+        assert_eq!(info.size, 1024);
+        assert_eq!(info.residency, Residency::Resident(DDR4));
+        assert_eq!(info.refcount, 0);
+        assert_eq!(reg.node_of(id), Some(DDR4));
+        assert_eq!(reg.size_of(id), 1024);
+    }
+
+    #[test]
+    fn refcount_round_trip() {
+        let (reg, id, _a) = registry_with_block(64);
+        assert_eq!(reg.add_ref(id), 1);
+        assert_eq!(reg.add_ref(id), 2);
+        assert_eq!(reg.release_ref(id), 1);
+        assert_eq!(reg.release_ref(id), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refcount underflow")]
+    fn refcount_underflow_panics() {
+        let (reg, id, _a) = registry_with_block(64);
+        reg.release_ref(id);
+    }
+
+    #[test]
+    fn typed_access_round_trip() {
+        let (reg, id, _a) = registry_with_block(8 * 16);
+        {
+            let mut g = reg.access(id, AccessMode::ReadWrite);
+            let xs: &mut [f64] = g.as_mut_slice();
+            assert_eq!(xs.len(), 16);
+            for (i, x) in xs.iter_mut().enumerate() {
+                *x = i as f64;
+            }
+        }
+        let g = reg.access(id, AccessMode::ReadOnly);
+        let xs: &[f64] = g.as_slice();
+        assert_eq!(xs[15], 15.0);
+    }
+
+    #[test]
+    fn shared_readers_coexist() {
+        let (reg, id, _a) = registry_with_block(64);
+        let g1 = reg.access(id, AccessMode::ReadOnly);
+        let g2 = reg.access(id, AccessMode::ReadOnly);
+        assert_eq!(g1.bytes().len(), 64);
+        assert_eq!(g2.bytes().len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusive access")]
+    fn writer_racing_reader_panics() {
+        let (reg, id, _a) = registry_with_block(64);
+        let _r = reg.access(id, AccessMode::ReadOnly);
+        let _w = reg.access(id, AccessMode::ReadWrite);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared access")]
+    fn reader_racing_writer_panics() {
+        let (reg, id, _a) = registry_with_block(64);
+        let _w = reg.access(id, AccessMode::WriteOnly);
+        let _r = reg.access(id, AccessMode::ReadOnly);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes_mut on a ReadOnly guard")]
+    fn readonly_guard_rejects_mutation() {
+        let (reg, id, _a) = registry_with_block(64);
+        let mut g = reg.access(id, AccessMode::ReadOnly);
+        let _ = g.bytes_mut();
+    }
+
+    #[test]
+    fn move_protocol_happy_path() {
+        let alloc0 = NodeAllocator::new(1 << 20);
+        let alloc1 = NodeAllocator::new(1 << 20);
+        let reg = BlockRegistry::new();
+        let mut src = alloc0.alloc(128, DDR4).unwrap();
+        src.as_mut_slice()[0] = 42;
+        let id = reg.register(src, "mv");
+
+        let (src, from) = reg.begin_move(id, HBM, true).unwrap();
+        assert_eq!(from, DDR4);
+        assert_eq!(reg.node_of(id), None); // moving
+        let mut dst = alloc1.alloc(128, HBM).unwrap();
+        dst.as_mut_slice().copy_from_slice(src.as_slice());
+        drop(src);
+        reg.complete_move(id, dst);
+        assert_eq!(reg.node_of(id), Some(HBM));
+        let g = reg.access(id, AccessMode::ReadOnly);
+        assert_eq!(g.bytes()[0], 42);
+    }
+
+    #[test]
+    fn begin_move_rejects_same_node() {
+        let (reg, id, _a) = registry_with_block(64);
+        assert!(matches!(
+            reg.begin_move(id, DDR4, true),
+            Err(crate::MemError::SameNode(_))
+        ));
+    }
+
+    #[test]
+    fn begin_move_rejects_referenced_block_when_required() {
+        let (reg, id, _a) = registry_with_block(64);
+        reg.add_ref(id);
+        assert!(reg.begin_move(id, HBM, true).is_err());
+        // But a fetch-style move (require_unreferenced = false) works.
+        assert!(reg.begin_move(id, HBM, false).is_ok());
+    }
+
+    #[test]
+    fn abort_move_restores_residency() {
+        let (reg, id, _a) = registry_with_block(64);
+        let (src, _) = reg.begin_move(id, HBM, true).unwrap();
+        reg.abort_move(id, src);
+        assert_eq!(reg.node_of(id), Some(DDR4));
+    }
+
+    #[test]
+    fn access_waits_for_move_completion() {
+        let alloc0 = NodeAllocator::new(1 << 20);
+        let alloc1 = NodeAllocator::new(1 << 20);
+        let reg = Arc::new(BlockRegistry::new());
+        let id = reg.register(alloc0.alloc(64, DDR4).unwrap(), "w");
+        let (src, _) = reg.begin_move(id, HBM, true).unwrap();
+
+        let reg2 = Arc::clone(&reg);
+        let h = std::thread::spawn(move || {
+            let g = reg2.access(id, AccessMode::ReadOnly);
+            g.node()
+        });
+        // Let the accessor block on the Moving state, then finish.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut dst = alloc1.alloc(64, HBM).unwrap();
+        dst.as_mut_slice().copy_from_slice(src.as_slice());
+        drop(src);
+        reg.complete_move(id, dst);
+        assert_eq!(h.join().unwrap(), HBM);
+    }
+
+    #[test]
+    fn begin_move_waits_for_accessors() {
+        let (reg, id, _a) = registry_with_block(64);
+        let reg = Arc::new(reg);
+        let g = reg.access(id, AccessMode::ReadOnly);
+        let reg2 = Arc::clone(&reg);
+        let h = std::thread::spawn(move || {
+            let (src, from) = reg2.begin_move(id, HBM, true).unwrap();
+            reg2.abort_move(id, src);
+            from
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g); // releases the reader; the move can proceed
+        assert_eq!(h.join().unwrap(), DDR4);
+    }
+
+    #[test]
+    fn resident_listing_orders_by_touch() {
+        let alloc = NodeAllocator::new(1 << 20);
+        let reg = BlockRegistry::new();
+        let a = reg.register(alloc.alloc(16, HBM).unwrap(), "a");
+        let b = reg.register(alloc.alloc(16, HBM).unwrap(), "b");
+        let c = reg.register(alloc.alloc(16, DDR4).unwrap(), "c");
+        drop(reg.access(b, AccessMode::ReadOnly));
+        drop(reg.access(a, AccessMode::ReadOnly));
+        let on_hbm = reg.resident_on(HBM);
+        assert_eq!(on_hbm, vec![b, a]); // b touched before a
+        assert_eq!(reg.resident_on(DDR4), vec![c]);
+        assert_eq!(reg.resident_bytes_on(HBM), 32);
+    }
+}

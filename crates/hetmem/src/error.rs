@@ -1,0 +1,74 @@
+//! Error types for the memory substrate.
+
+use crate::node::NodeId;
+
+/// Errors surfaced by allocation, block management and migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// An allocation would exceed the node's capacity budget — the
+    /// software equivalent of `numa_alloc_onnode` failing on a full
+    /// MCDRAM.
+    CapacityExceeded {
+        /// Node the allocation targeted.
+        node: NodeId,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently available under the budget.
+        available: u64,
+    },
+    /// A block id did not resolve in the registry.
+    UnknownBlock(u64),
+    /// A migration or access hit a block in an incompatible state
+    /// (e.g. evicting a block that is still referenced).
+    InvalidState {
+        /// Block involved.
+        block: u64,
+        /// Description of the violated expectation.
+        reason: &'static str,
+    },
+    /// The requested transfer is a no-op (source == destination node).
+    SameNode(NodeId),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::CapacityExceeded {
+                node,
+                requested,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded on {node}: requested {requested} B, {available} B available"
+            ),
+            MemError::UnknownBlock(id) => write!(f, "unknown block id {id}"),
+            MemError::InvalidState { block, reason } => {
+                write!(f, "block {block} in invalid state: {reason}")
+            }
+            MemError::SameNode(node) => {
+                write!(f, "transfer source and destination are both {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::HBM;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = MemError::CapacityExceeded {
+            node: HBM,
+            requested: 42,
+            available: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("node1") && s.contains("42") && s.contains("7"));
+        assert!(MemError::UnknownBlock(9).to_string().contains('9'));
+        assert!(MemError::SameNode(HBM).to_string().contains("node1"));
+    }
+}

@@ -1,0 +1,230 @@
+//! `hetmem` — a software heterogeneous-memory substrate.
+//!
+//! This crate stands in for the Intel Knights Landing Flat-mode memory
+//! system used by Chandrasekar, Ni and Kale, *"A Memory
+//! Heterogeneity-Aware Runtime System for Bandwidth-Sensitive HPC
+//! Applications"* (IPDPSW 2017): a small, fast MCDRAM ("HBM", numa node 1)
+//! next to a large, slow DDR4 (numa node 0), with `libnuma`-style
+//! allocation and `memcpy`-based migration between the two.
+//!
+//! Since no KNL (or dual-NUMA machine) is assumed, the two properties the
+//! paper's runtime exploits are *enforced in software*:
+//!
+//! * **Capacity** — every node has a byte budget; allocation beyond
+//!   it fails with [`MemError::CapacityExceeded`], exactly like a full
+//!   16 GB MCDRAM.
+//! * **Bandwidth** — every node has a [`BandwidthRegulator`]: a shared,
+//!   pipelined reservation queue that all threads streaming bytes to or
+//!   from the node must pass through. Concurrent tasks therefore contend
+//!   for the node's aggregate bandwidth, reproducing both the ~4x
+//!   HBM:DDR4 ratio and the saturation behaviour of the paper's Figure 1.
+//!
+//! On top of these sit:
+//!
+//! * [`NodeAllocator`] / [`Memory::alloc_on_node`] — the
+//!   `numa_alloc_onnode` equivalent (§IV-C of the paper);
+//! * [`BlockRegistry`] — runtime-tracked data blocks with residency
+//!   state (`INHBM` / `INDDR` in the paper), reference counts and
+//!   per-block locks, the substrate behind `CkIOHandle`;
+//! * [`MigrationEngine`] — the paper's three-step move: allocate on the
+//!   destination node, charged `memcpy`, free the source;
+//! * [`MemoryPool`] — the "memory pool in each memory type" optimisation
+//!   the paper leaves as future work (§IV-C), used by the ablation
+//!   benchmarks.
+//!
+//! All time handling goes through the [`Clock`] trait so that unit and
+//! property tests can run against a deterministic [`VirtualClock`].
+
+pub mod alloc;
+pub mod bandwidth;
+pub mod block;
+pub mod clock;
+pub mod error;
+pub mod migrate;
+pub mod node;
+pub mod pool;
+pub mod stats;
+pub mod topology;
+
+pub use alloc::{AlignedBuf, NodeAllocator};
+pub use bandwidth::{BandwidthRegulator, ChargeOutcome};
+pub use block::{AccessGuard, AccessMode, BlockId, BlockInfo, BlockRegistry, Pod, Residency};
+pub use clock::{Clock, MonotonicClock, TimeNs, VirtualClock};
+pub use error::MemError;
+pub use migrate::{MigrationEngine, MigrationStats};
+pub use node::{MemKind, NodeId, DDR4, HBM};
+pub use pool::MemoryPool;
+pub use stats::{MemStats, NodeStats};
+pub use topology::{NodeSpec, Topology};
+
+use std::sync::Arc;
+
+/// The assembled heterogeneous-memory subsystem: one allocator and one
+/// bandwidth regulator per node, plus the shared block registry.
+///
+/// This is the façade the runtime crates use; it corresponds to "what the
+/// OS + libnuma + the memory controllers give you" on the paper's KNL
+/// testbed.
+pub struct Memory {
+    topology: Topology,
+    nodes: Vec<NodePlane>,
+    registry: BlockRegistry,
+    clock: Arc<dyn Clock>,
+}
+
+/// Per-node backing resources.
+struct NodePlane {
+    allocator: NodeAllocator,
+    regulator: BandwidthRegulator,
+}
+
+impl Memory {
+    /// Build a memory subsystem from a topology description, using the
+    /// real monotonic clock.
+    pub fn new(topology: Topology) -> Arc<Self> {
+        Self::with_clock(topology, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Build with an explicit clock (tests use [`VirtualClock`]).
+    pub fn with_clock(topology: Topology, clock: Arc<dyn Clock>) -> Arc<Self> {
+        let nodes = topology
+            .nodes()
+            .iter()
+            .map(|spec| NodePlane {
+                allocator: NodeAllocator::new(spec.capacity_bytes),
+                regulator: BandwidthRegulator::new(
+                    spec.bandwidth_bytes_per_sec,
+                    topology.slice_bytes(),
+                    clock.clone(),
+                )
+                .with_write_penalty(spec.write_penalty)
+                .with_overhead_ns(topology.per_charge_overhead_ns()),
+            })
+            .collect();
+        Arc::new(Self {
+            topology,
+            nodes,
+            registry: BlockRegistry::new(),
+            clock,
+        })
+    }
+
+    /// The topology this subsystem was built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The clock driving bandwidth accounting.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The shared block registry (the `CkIOHandle` metadata store).
+    pub fn registry(&self) -> &BlockRegistry {
+        &self.registry
+    }
+
+    /// Number of memory nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The allocator for `node`.
+    pub fn allocator(&self, node: NodeId) -> &NodeAllocator {
+        &self.nodes[node.index()].allocator
+    }
+
+    /// The bandwidth regulator for `node`.
+    pub fn regulator(&self, node: NodeId) -> &BandwidthRegulator {
+        &self.nodes[node.index()].regulator
+    }
+
+    /// `numa_alloc_onnode` equivalent: allocate `size` bytes on `node`,
+    /// failing if the node's capacity budget would be exceeded.
+    pub fn alloc_on_node(&self, size: usize, node: NodeId) -> Result<AlignedBuf, MemError> {
+        self.nodes[node.index()].allocator.alloc(size, node)
+    }
+
+    /// Free a buffer back to its node's budget. (Buffers also release
+    /// their budget on drop; this is the explicit `numa_free` spelling.)
+    pub fn free(&self, buf: AlignedBuf) {
+        drop(buf);
+    }
+
+    /// Charge `bytes` of streaming traffic against `node`'s bandwidth,
+    /// blocking until the node's reservation pipe has drained them.
+    ///
+    /// This is what makes a task whose data lives in DDR4 genuinely
+    /// slower than one reading from HBM.
+    pub fn charge(&self, node: NodeId, bytes: u64) -> ChargeOutcome {
+        self.nodes[node.index()].regulator.charge(bytes)
+    }
+
+    /// A migration engine bound to this memory subsystem.
+    pub fn migration_engine(self: &Arc<Self>) -> MigrationEngine {
+        MigrationEngine::new(Arc::clone(self))
+    }
+
+    /// Snapshot of per-node occupancy and traffic statistics.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, plane)| NodeStats {
+                    node: NodeId::new(i as u8),
+                    capacity_bytes: self.topology.nodes()[i].capacity_bytes,
+                    used_bytes: plane.allocator.used(),
+                    peak_used_bytes: plane.allocator.peak_used(),
+                    alloc_count: plane.allocator.alloc_count(),
+                    failed_alloc_count: plane.allocator.failed_alloc_count(),
+                    bytes_charged: plane.regulator.bytes_charged(),
+                    charge_wait_ns: plane.regulator.total_wait_ns(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("topology", &self.topology)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_wires_nodes() {
+        let mem = Memory::new(Topology::knl_flat_scaled());
+        assert_eq!(mem.node_count(), 2);
+        assert!(
+            mem.topology().nodes()[HBM.index()].bandwidth_bytes_per_sec
+                > mem.topology().nodes()[DDR4.index()].bandwidth_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let mem = Memory::new(Topology::knl_flat_scaled());
+        let buf = mem.alloc_on_node(4096, HBM).unwrap();
+        assert_eq!(mem.stats().nodes[HBM.index()].used_bytes, 4096);
+        mem.free(buf);
+        assert_eq!(mem.stats().nodes[HBM.index()].used_bytes, 0);
+    }
+
+    #[test]
+    fn capacity_budget_is_enforced() {
+        let mem = Memory::new(Topology::knl_flat_scaled());
+        let cap = mem.topology().nodes()[HBM.index()].capacity_bytes;
+        let _big = mem.alloc_on_node(cap as usize, HBM).unwrap();
+        let err = mem.alloc_on_node(1, HBM).unwrap_err();
+        assert!(matches!(err, MemError::CapacityExceeded { .. }));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the memory substrate's core invariants.
+
+use hetmem::{
+    AccessMode, Clock, MemError, Memory, NodeAllocator, Topology, VirtualClock, DDR4, HBM,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The allocator never lets `used` exceed capacity, and every drop
+    /// credits the budget back exactly.
+    #[test]
+    fn allocator_accounting_balances(ops in prop::collection::vec((0usize..4096, any::<bool>()), 1..60)) {
+        let alloc = NodeAllocator::new(16 * 1024);
+        let mut held = Vec::new();
+        let mut expected: u64 = 0;
+        for (size, free_one) in ops {
+            if free_one && !held.is_empty() {
+                let buf: hetmem::AlignedBuf = held.swap_remove(0);
+                expected -= buf.len() as u64;
+                drop(buf);
+            } else if let Ok(buf) = alloc.alloc(size, DDR4) {
+                expected += size as u64;
+                held.push(buf);
+            } else {
+                // Rejection is only legal when the budget truly lacks room.
+                prop_assert!(expected + size as u64 > 16 * 1024);
+            }
+            prop_assert_eq!(alloc.used(), expected);
+            prop_assert!(alloc.used() <= 16 * 1024);
+        }
+        drop(held);
+        prop_assert_eq!(alloc.used(), 0);
+    }
+
+    /// The bandwidth pipe never finishes a charge faster than rate
+    /// allows, and sequential charges are FIFO-ordered.
+    #[test]
+    fn pipe_never_over_issues(charges in prop::collection::vec(1u64..100_000, 1..30)) {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = hetmem::BandwidthRegulator::new(1_000_000_000, 8 * 1024, clock.clone());
+        let mut last_end = 0u64;
+        let mut total = 0u64;
+        for bytes in charges {
+            let out = reg.charge(bytes);
+            // 1 GB/s == 1 byte/ns: service time is at least `bytes` ns
+            // beyond the previous completion (ceil per slice may round up).
+            prop_assert!(out.completed_at >= last_end + bytes);
+            prop_assert!(out.completed_at >= out.issued_at);
+            last_end = out.completed_at;
+            total += bytes;
+        }
+        prop_assert_eq!(reg.bytes_charged(), total);
+        prop_assert!(clock.now() >= total);
+    }
+
+    /// Migration preserves block contents bit-for-bit, in any sequence
+    /// of directions.
+    #[test]
+    fn migration_preserves_contents(
+        payload in prop::collection::vec(any::<u8>(), 1..2048),
+        flips in prop::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let mem = Memory::with_clock(
+            Topology::knl_flat_scaled(),
+            Arc::new(VirtualClock::new()),
+        );
+        let engine = mem.migration_engine();
+        let mut buf = mem.alloc_on_node(payload.len(), DDR4).unwrap();
+        buf.as_mut_slice().copy_from_slice(&payload);
+        let id = mem.registry().register(buf, "prop");
+        for to_hbm in flips {
+            let dst = if to_hbm { HBM } else { DDR4 };
+            match engine.migrate(id, dst, true, true) {
+                Ok(_) => {}
+                Err(MemError::SameNode(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected migration error {e}"),
+            }
+            let guard = mem.registry().access(id, AccessMode::ReadOnly);
+            prop_assert_eq!(guard.bytes(), &payload[..]);
+        }
+        // Occupancy is consistent: exactly one node holds the block.
+        let on_hbm = mem.stats().nodes[HBM.index()].used_bytes;
+        let on_ddr = mem.stats().nodes[DDR4.index()].used_bytes;
+        prop_assert_eq!(on_hbm + on_ddr, payload.len() as u64);
+    }
+
+    /// Refcounts are exact under arbitrary interleavings of add/release.
+    #[test]
+    fn refcount_arithmetic(ops in prop::collection::vec(any::<bool>(), 1..100)) {
+        let mem = Memory::new(Topology::knl_flat_scaled());
+        let id = mem
+            .registry()
+            .register(mem.alloc_on_node(64, DDR4).unwrap(), "rc");
+        let mut rc = 0u32;
+        for add in ops {
+            if add {
+                rc += 1;
+                prop_assert_eq!(mem.registry().add_ref(id), rc);
+            } else if rc > 0 {
+                rc -= 1;
+                prop_assert_eq!(mem.registry().release_ref(id), rc);
+            }
+        }
+        prop_assert_eq!(mem.registry().refcount(id), rc);
+    }
+
+    /// Write penalty and direction: the same payload always costs at
+    /// least as much moving into the penalised node.
+    #[test]
+    fn write_penalty_monotonicity(bytes in 1u64..1_000_000) {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = hetmem::BandwidthRegulator::new(1_000_000_000, 64 * 1024, clock)
+            .with_write_penalty(1.06);
+        let read = reg.charge(bytes).duration_ns();
+        let write = reg.charge_write(bytes).duration_ns();
+        prop_assert!(write >= read, "write {write} < read {read}");
+    }
+}

@@ -1,0 +1,343 @@
+//! McCalpin STREAM against one memory node — the paper's Figure 1.
+//!
+//! `T` threads each own a contiguous slice of three arrays `a`, `b`,
+//! `c` allocated on the chosen node, run the four STREAM kernels, and
+//! charge their streamed bytes against the node's bandwidth regulator.
+//! Because all threads share one regulator, aggregate throughput
+//! saturates at the node rate — MCDRAM ≈ 4.67x DDR4 — exactly the
+//! curves of Figure 1.
+
+use crate::traffic::charge_guard;
+use hetmem::{AccessMode, Memory, NodeId};
+use std::sync::Arc;
+
+/// One of the four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 2 passes of traffic.
+    Copy,
+    /// `b[i] = q * c[i]` — 2 passes.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 3 passes.
+    Add,
+    /// `a[i] = b[i] + q * c[i]` — 3 passes.
+    Triad,
+}
+
+impl StreamKernel {
+    /// All four kernels in STREAM's canonical order.
+    pub const ALL: [StreamKernel; 4] = [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ];
+
+    /// Bytes moved per element (read + written), for f64 elements.
+    pub fn bytes_per_element(self) -> u64 {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKernel::Copy => "Copy",
+            StreamKernel::Scale => "Scale",
+            StreamKernel::Add => "Add",
+            StreamKernel::Triad => "Triad",
+        }
+    }
+}
+
+/// Configuration for one STREAM run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Elements per array (per thread).
+    pub elems_per_thread: usize,
+    /// Number of concurrent threads.
+    pub threads: usize,
+    /// Node to allocate on and charge against.
+    pub node: NodeId,
+    /// Repetitions per kernel (best rate is reported, like STREAM).
+    pub reps: usize,
+    /// Streaming rate one thread can sustain by itself (bytes/sec).
+    /// A single KNL core cannot saturate either memory's aggregate
+    /// bandwidth, which is why Figure 1's curves *rise* with thread
+    /// count before saturating. `None` = unpaced.
+    pub per_thread_bytes_per_sec: Option<u64>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            elems_per_thread: 64 * 1024,
+            threads: 4,
+            node: hetmem::HBM,
+            reps: 3,
+            per_thread_bytes_per_sec: None,
+        }
+    }
+}
+
+/// Measured bandwidth per kernel, bytes/sec.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// The configuration measured.
+    pub threads: usize,
+    /// The node measured.
+    pub node: NodeId,
+    /// (kernel, best aggregate bandwidth bytes/sec).
+    pub bandwidth: Vec<(StreamKernel, f64)>,
+}
+
+impl StreamReport {
+    /// Bandwidth for one kernel.
+    pub fn get(&self, kernel: StreamKernel) -> f64 {
+        self.bandwidth
+            .iter()
+            .find(|(k, _)| *k == kernel)
+            .map(|(_, bw)| *bw)
+            .expect("kernel measured")
+    }
+}
+
+/// Run STREAM with `cfg` against `mem`.
+pub fn run_stream(mem: &Arc<Memory>, cfg: &StreamConfig) -> StreamReport {
+    assert!(cfg.threads > 0 && cfg.reps > 0);
+    let n = cfg.elems_per_thread;
+    let bytes = n * 8;
+
+    // Per-thread private triples, all accounted to the same node.
+    let blocks: Vec<[hetmem::BlockId; 3]> = (0..cfg.threads)
+        .map(|t| {
+            [0, 1, 2].map(|i| {
+                mem.registry().register(
+                    mem.alloc_on_node(bytes, cfg.node)
+                        .expect("stream arrays must fit on the node"),
+                    format!("stream{t}.{i}"),
+                )
+            })
+        })
+        .collect();
+
+    let mut bandwidth = Vec::new();
+    for kernel in StreamKernel::ALL {
+        let mut best = 0.0f64;
+        for _ in 0..cfg.reps {
+            let t0 = mem.clock().now();
+            std::thread::scope(|scope| {
+                for t in 0..cfg.threads {
+                    let mem = Arc::clone(mem);
+                    let [a, b, c] = blocks[t];
+                    let pace = cfg.per_thread_bytes_per_sec;
+                    scope.spawn(move || {
+                        run_kernel_slice(&mem, kernel, a, b, c, n);
+                        if let Some(rate) = pace {
+                            // Pace from the rep's common start so that
+                            // concurrent threads overlap their paced
+                            // windows (a thread-local start would
+                            // serialise under a virtual clock).
+                            let bytes = kernel.bytes_per_element() * n as u64;
+                            let dur = (bytes as f64 * 1e9 / rate as f64).ceil() as u64;
+                            mem.clock().sleep_until(t0 + dur);
+                        }
+                    });
+                }
+            });
+            let dt = mem.clock().now().saturating_sub(t0).max(1);
+            let total = kernel.bytes_per_element() * (n as u64) * cfg.threads as u64;
+            let bw = total as f64 * 1e9 / dt as f64;
+            best = best.max(bw);
+        }
+        bandwidth.push((kernel, best));
+    }
+    StreamReport {
+        threads: cfg.threads,
+        node: cfg.node,
+        bandwidth,
+    }
+}
+
+fn run_kernel_slice(
+    mem: &Memory,
+    kernel: StreamKernel,
+    a: hetmem::BlockId,
+    b: hetmem::BlockId,
+    c: hetmem::BlockId,
+    n: usize,
+) {
+    const Q: f64 = 3.0;
+    let registry = mem.registry();
+    match kernel {
+        StreamKernel::Copy => {
+            let ga = registry.access(a, AccessMode::ReadOnly);
+            let mut gc = registry.access(c, AccessMode::ReadWrite);
+            charge_guard(mem, &ga, (n * 8) as u64, 0);
+            charge_guard(mem, &gc, 0, (n * 8) as u64);
+            let xs = ga.as_slice::<f64>();
+            let cs = gc.as_mut_slice::<f64>();
+            cs.copy_from_slice(xs);
+        }
+        StreamKernel::Scale => {
+            let gc = registry.access(c, AccessMode::ReadOnly);
+            let mut gb = registry.access(b, AccessMode::ReadWrite);
+            charge_guard(mem, &gc, (n * 8) as u64, 0);
+            charge_guard(mem, &gb, 0, (n * 8) as u64);
+            let cs = gc.as_slice::<f64>();
+            let bs = gb.as_mut_slice::<f64>();
+            for i in 0..n {
+                bs[i] = Q * cs[i];
+            }
+        }
+        StreamKernel::Add => {
+            let ga = registry.access(a, AccessMode::ReadOnly);
+            let gb = registry.access(b, AccessMode::ReadOnly);
+            let mut gc = registry.access(c, AccessMode::ReadWrite);
+            charge_guard(mem, &ga, (n * 8) as u64, 0);
+            charge_guard(mem, &gb, (n * 8) as u64, 0);
+            charge_guard(mem, &gc, 0, (n * 8) as u64);
+            let xs = ga.as_slice::<f64>();
+            let ys = gb.as_slice::<f64>();
+            let cs = gc.as_mut_slice::<f64>();
+            for i in 0..n {
+                cs[i] = xs[i] + ys[i];
+            }
+        }
+        StreamKernel::Triad => {
+            let gb = registry.access(b, AccessMode::ReadOnly);
+            let gc = registry.access(c, AccessMode::ReadOnly);
+            let mut ga = registry.access(a, AccessMode::ReadWrite);
+            charge_guard(mem, &gb, (n * 8) as u64, 0);
+            charge_guard(mem, &gc, (n * 8) as u64, 0);
+            charge_guard(mem, &ga, 0, (n * 8) as u64);
+            let ys = gb.as_slice::<f64>();
+            let cs = gc.as_slice::<f64>();
+            let xs = ga.as_mut_slice::<f64>();
+            for i in 0..n {
+                xs[i] = ys[i] + Q * cs[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem::{Topology, VirtualClock, DDR4, HBM};
+
+    fn mem() -> Arc<Memory> {
+        Memory::with_clock(
+            Topology::knl_flat_scaled_with(8 << 20, 64 << 20),
+            Arc::new(VirtualClock::new()),
+        )
+    }
+
+    #[test]
+    fn hbm_beats_ddr_by_the_bandwidth_ratio() {
+        let m = mem();
+        let cfg_hbm = StreamConfig {
+            elems_per_thread: 16 * 1024,
+            threads: 2,
+            node: HBM,
+            reps: 1,
+            per_thread_bytes_per_sec: None,
+        };
+        let cfg_ddr = StreamConfig {
+            node: DDR4,
+            ..cfg_hbm.clone()
+        };
+        let r_hbm = run_stream(&m, &cfg_hbm);
+        let r_ddr = run_stream(&m, &cfg_ddr);
+        for k in StreamKernel::ALL {
+            let ratio = r_hbm.get(k) / r_ddr.get(k);
+            assert!(
+                ratio > 3.0,
+                "{}: HBM/DDR4 ratio {ratio} too small",
+                k.label()
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_bandwidth_saturates_with_threads() {
+        let m = mem();
+        let bw = |threads| {
+            let cfg = StreamConfig {
+                elems_per_thread: 16 * 1024,
+                threads,
+                node: DDR4,
+                reps: 1,
+                per_thread_bytes_per_sec: None,
+            };
+            run_stream(&m, &cfg).get(StreamKernel::Triad)
+        };
+        let one = bw(1);
+        let four = bw(4);
+        // More threads cannot exceed the node cap by more than ~20%
+        // measurement slack.
+        assert!(four < one * 1.5, "one={one} four={four}");
+    }
+
+    #[test]
+    fn kernels_compute_correct_results() {
+        let m = mem();
+        let n = 1024;
+        let reg = m.registry();
+        let a = reg.register(m.alloc_on_node(n * 8, HBM).unwrap(), "a");
+        let b = reg.register(m.alloc_on_node(n * 8, HBM).unwrap(), "b");
+        let c = reg.register(m.alloc_on_node(n * 8, HBM).unwrap(), "c");
+        {
+            let mut g = reg.access(a, AccessMode::ReadWrite);
+            g.as_mut_slice::<f64>().iter_mut().for_each(|x| *x = 2.0);
+        }
+        run_kernel_slice(&m, StreamKernel::Copy, a, b, c, n); // c = a = 2
+        run_kernel_slice(&m, StreamKernel::Scale, a, b, c, n); // b = 3c = 6
+        run_kernel_slice(&m, StreamKernel::Add, a, b, c, n); // c = a+b = 8
+        run_kernel_slice(&m, StreamKernel::Triad, a, b, c, n); // a = b+3c = 30
+        let g = reg.access(a, AccessMode::ReadOnly);
+        assert!(g.as_slice::<f64>().iter().all(|&x| x == 30.0));
+    }
+
+    #[test]
+    fn per_thread_pacing_limits_one_thread() {
+        let m = mem();
+        let run = |threads| {
+            run_stream(
+                &m,
+                &StreamConfig {
+                    elems_per_thread: 16 * 1024,
+                    threads,
+                    node: HBM,
+                    reps: 1,
+                    per_thread_bytes_per_sec: Some(10 << 20), // 10 MiB/s
+                },
+            )
+            .get(StreamKernel::Triad)
+        };
+        let one = run(1);
+        let four = run(4);
+        // One paced thread is held near its own rate; four scale up.
+        assert!(one < 15e6, "one-thread bw {one}");
+        assert!(four > 2.5 * one, "four={four} one={one}");
+    }
+
+    #[test]
+    fn report_lookup() {
+        let m = mem();
+        let r = run_stream(
+            &m,
+            &StreamConfig {
+                elems_per_thread: 1024,
+                threads: 1,
+                node: HBM,
+                reps: 1,
+                per_thread_bytes_per_sec: None,
+            },
+        );
+        assert_eq!(r.bandwidth.len(), 4);
+        assert!(r.get(StreamKernel::Copy) > 0.0);
+    }
+}

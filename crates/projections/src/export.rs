@@ -1,0 +1,76 @@
+//! Machine-readable trace export (JSON and CSV) for external plotting.
+
+use crate::timeline::{Trace, TraceSummary};
+
+/// Serialize a full trace to pretty JSON.
+pub fn trace_to_json(trace: &Trace) -> String {
+    serde_json::to_string_pretty(trace).expect("trace serializes")
+}
+
+/// Parse a trace back from JSON.
+pub fn trace_from_json(json: &str) -> Result<Trace, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Serialize a summary to pretty JSON.
+pub fn summary_to_json(summary: &TraceSummary) -> String {
+    serde_json::to_string_pretty(summary).expect("summary serializes")
+}
+
+/// Flatten a trace into CSV rows: `lane,kind,start_ns,end_ns,tag`.
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from("lane,kind,start_ns,end_ns,tag\n");
+    for lane in &trace.lanes {
+        for span in &lane.spans {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                lane.lane, span.kind, span.start_ns, span.end_ns, span.tag
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{LaneId, Span, SpanKind};
+    use crate::timeline::LaneTrace;
+
+    fn sample() -> Trace {
+        Trace {
+            lanes: vec![LaneTrace {
+                lane: LaneId::worker(1),
+                spans: vec![Span {
+                    kind: SpanKind::Compute,
+                    start_ns: 5,
+                    end_ns: 9,
+                    tag: 7,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample();
+        let json = trace_to_json(&t);
+        let back = trace_from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_contains_rows() {
+        let csv = trace_to_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "lane,kind,start_ns,end_ns,tag");
+        assert_eq!(lines.next().unwrap(), "PE1,compute,5,9,7");
+    }
+
+    #[test]
+    fn summary_json_has_makespan() {
+        let s = sample().summarize();
+        let json = summary_to_json(&s);
+        assert!(json.contains("makespan_ns"));
+    }
+}

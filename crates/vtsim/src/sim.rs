@@ -1,0 +1,637 @@
+//! The discrete-event engine.
+//!
+//! Single-threaded and deterministic: events are ordered by
+//! `(time, sequence number)`, so identical configurations always yield
+//! identical timelines. The handlers mirror the threaded runtime's
+//! control flow (interception → wait queue → fetch → run queue →
+//! execute → evict → wake).
+
+use crate::model::{SimConfig, SimNode, SimStrategy, Workload};
+use crate::pipe::{ReservationPipe, VTime};
+use crate::report::SimReport;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A task became runnable (all DAG predecessors finished).
+    Arrive(usize),
+    /// A PE should look for work.
+    PeTick(usize),
+    /// An IO thread should look for work.
+    IoTick(usize),
+    /// A task's execution (and trailing eviction) finished.
+    TaskDone { task: usize, pe: usize },
+    /// An IO thread finished fetching a task's dependences.
+    FetchDone { io: usize, task: usize },
+}
+
+struct BlockState {
+    size: u64,
+    node: SimNode,
+    rc: u32,
+}
+
+struct PeState {
+    busy: bool,
+    run_queue: VecDeque<usize>,
+    /// SyncFetch only: tasks whose inline fetch found no space.
+    blocked: VecDeque<usize>,
+    busy_ns: u64,
+}
+
+struct IoState {
+    busy: bool,
+    queues: Vec<usize>,
+    cursor: usize,
+    busy_ns: u64,
+}
+
+/// The simulator. Build with a config and workload, call
+/// [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    blocks: Vec<BlockState>,
+    task_pending: Vec<usize>,
+    hbm_used: u64,
+    ddr_pipe: ReservationPipe,
+    hbm_pipe: ReservationPipe,
+    pes: Vec<PeState>,
+    wait_queues: Vec<VecDeque<usize>>,
+    io: Vec<IoState>,
+    events: BinaryHeap<Reverse<(VTime, u64, Ev)>>,
+    seq: u64,
+    workload: Workload,
+    // statistics
+    arrive_time: Vec<VTime>,
+    completed: usize,
+    makespan: VTime,
+    fetches: u64,
+    fetch_bytes: u64,
+    evictions: u64,
+    evict_bytes: u64,
+    queue_wait_ns: u64,
+}
+
+impl Simulator {
+    /// Build a simulator for `workload` under `cfg`.
+    pub fn new(cfg: SimConfig, workload: Workload) -> Self {
+        let blocks = workload
+            .blocks
+            .iter()
+            .map(|b| BlockState {
+                size: b.size,
+                node: b.home,
+                rc: 0,
+            })
+            .collect::<Vec<_>>();
+        let hbm_used = workload
+            .blocks
+            .iter()
+            .filter(|b| b.home == SimNode::Hbm)
+            .map(|b| b.size)
+            .sum();
+        assert!(
+            hbm_used <= cfg.hbm.capacity_bytes,
+            "initial placement exceeds HBM capacity"
+        );
+        if cfg.strategy != SimStrategy::Baseline {
+            for t in &workload.tasks {
+                let need: u64 = t
+                    .charges
+                    .iter()
+                    .map(|c| workload.blocks[c.block].size)
+                    .sum();
+                assert!(
+                    need <= cfg.hbm.capacity_bytes,
+                    "task needs {need} B resident but HBM holds {} B",
+                    cfg.hbm.capacity_bytes
+                );
+            }
+        }
+        let io_count = match cfg.strategy {
+            SimStrategy::IoThreads { threads } => threads,
+            _ => 0,
+        };
+        let pes = (0..cfg.pes)
+            .map(|_| PeState {
+                busy: false,
+                run_queue: VecDeque::new(),
+                blocked: VecDeque::new(),
+                busy_ns: 0,
+            })
+            .collect();
+        let per = if io_count > 0 {
+            cfg.pes.div_ceil(io_count)
+        } else {
+            1
+        };
+        let io = (0..io_count)
+            .map(|g| IoState {
+                busy: false,
+                queues: (g * per..((g + 1) * per).min(cfg.pes)).collect(),
+                cursor: 0,
+                busy_ns: 0,
+            })
+            .collect();
+        let ddr_pipe = ReservationPipe::new(cfg.ddr.bandwidth_bytes_per_sec)
+            .with_write_penalty(cfg.ddr.write_penalty);
+        let hbm_pipe = ReservationPipe::new(cfg.hbm.bandwidth_bytes_per_sec)
+            .with_write_penalty(cfg.hbm.write_penalty);
+        let task_pending = workload.tasks.iter().map(|t| t.pending).collect();
+        let n_tasks = workload.tasks.len();
+        let mut sim = Self {
+            cfg,
+            blocks,
+            task_pending,
+            hbm_used,
+            ddr_pipe,
+            hbm_pipe,
+            pes,
+            wait_queues: (0..0).map(|_| VecDeque::new()).collect(),
+            io,
+            events: BinaryHeap::new(),
+            seq: 0,
+            arrive_time: vec![0; n_tasks],
+            completed: 0,
+            makespan: 0,
+            fetches: 0,
+            fetch_bytes: 0,
+            evictions: 0,
+            evict_bytes: 0,
+            queue_wait_ns: 0,
+            workload,
+        };
+        sim.wait_queues = (0..sim.cfg.pes).map(|_| VecDeque::new()).collect();
+        let initial: Vec<usize> = sim
+            .workload
+            .tasks
+            .iter()
+            .enumerate()
+            .inspect(|(_, t)| assert!(t.pe < sim.cfg.pes, "task pe out of range"))
+            .filter(|(_, t)| t.pending == 0)
+            .map(|(i, _)| i)
+            .collect();
+        for i in initial {
+            sim.push_event(0, Ev::Arrive(i));
+        }
+        sim
+    }
+
+    fn push_event(&mut self, t: VTime, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse((t, self.seq, ev)));
+    }
+
+    fn group_of_pe(&self, pe: usize) -> usize {
+        self.io
+            .iter()
+            .position(|io| io.queues.contains(&pe))
+            .expect("every PE belongs to an IO group")
+    }
+
+    fn pipe(&mut self, node: SimNode) -> &mut ReservationPipe {
+        match node {
+            SimNode::Ddr => &mut self.ddr_pipe,
+            SimNode::Hbm => &mut self.hbm_pipe,
+        }
+    }
+
+    /// Missing bytes a task still needs in HBM.
+    fn missing_bytes(&self, task: usize) -> u64 {
+        self.workload.tasks[task]
+            .charges
+            .iter()
+            .filter(|c| self.blocks[c.block].node == SimNode::Ddr)
+            .map(|c| self.blocks[c.block].size)
+            .sum()
+    }
+
+    /// Fetch all missing dependences starting at `t`; returns the
+    /// completion time. Caller has verified capacity.
+    fn do_fetch(&mut self, task: usize, t: VTime) -> VTime {
+        let charges = self.workload.tasks[task].charges.clone();
+        let mut cur = t;
+        for c in charges {
+            if self.blocks[c.block].node != SimNode::Ddr {
+                continue;
+            }
+            let size = self.blocks[c.block].size;
+            if c.fetch_copies {
+                let r = self.ddr_pipe.reserve_read(cur, size);
+                let pipe_end = self.hbm_pipe.reserve_write(r, size);
+                cur = pipe_end.max(self.thread_copy_end(cur, size));
+                self.fetch_bytes += size;
+            }
+            self.fetches += 1;
+            self.blocks[c.block].node = SimNode::Hbm;
+            self.hbm_used += size;
+        }
+        cur
+    }
+
+    /// Earliest time a single thread's memcpy of `size` bytes starting
+    /// at `t` can finish under the per-thread copy-rate cap.
+    fn thread_copy_end(&self, t: VTime, size: u64) -> VTime {
+        match self.cfg.copy_thread_rate {
+            Some(rate) => t + (size as f64 * 1e9 / rate as f64).ceil() as VTime,
+            None => t,
+        }
+    }
+
+    /// Reference all dependences of `task`.
+    fn add_refs(&mut self, task: usize) {
+        let charges = self.workload.tasks[task].charges.clone();
+        for c in charges {
+            self.blocks[c.block].rc += 1;
+        }
+    }
+
+    /// Execute a task's compute charges starting at `t`; returns end.
+    fn do_compute(&mut self, task: usize, t: VTime) -> VTime {
+        let task_spec = self.workload.tasks[task].clone();
+        let mut cur = t;
+        for c in &task_spec.charges {
+            let node = self.blocks[c.block].node;
+            if c.read_bytes > 0 {
+                cur = self.pipe(node).reserve_read(cur, c.read_bytes);
+            }
+            if c.write_bytes > 0 {
+                cur = self.pipe(node).reserve_write(cur, c.write_bytes);
+            }
+        }
+        cur + task_spec.flops_ns
+    }
+
+    /// Release refs and evict zero-refcount blocks starting at `t`.
+    fn do_complete(&mut self, task: usize, t: VTime) -> VTime {
+        if self.cfg.strategy == SimStrategy::Baseline {
+            return t;
+        }
+        let charges = self.workload.tasks[task].charges.clone();
+        let mut cur = t;
+        for c in &charges {
+            let b = &mut self.blocks[c.block];
+            debug_assert!(b.rc > 0);
+            b.rc -= 1;
+        }
+        for c in &charges {
+            let (rc, node, size) = {
+                let b = &self.blocks[c.block];
+                (b.rc, b.node, b.size)
+            };
+            if rc == 0 && node == SimNode::Hbm {
+                let r = self.hbm_pipe.reserve_read(cur, size);
+                let pipe_end = self.ddr_pipe.reserve_write(r, size);
+                cur = pipe_end.max(self.thread_copy_end(cur, size));
+                self.blocks[c.block].node = SimNode::Ddr;
+                self.hbm_used -= size;
+                self.evictions += 1;
+                self.evict_bytes += size;
+            }
+        }
+        cur
+    }
+
+    /// Start executing `task` on `pe` at `t` (data already resident).
+    fn start_exec(&mut self, task: usize, pe: usize, t: VTime) {
+        let end = self.do_compute(task, t);
+        self.pes[pe].busy = true;
+        self.pes[pe].busy_ns += end - t;
+        self.push_event(end, Ev::TaskDone { task, pe });
+    }
+
+    fn handle_arrive(&mut self, task: usize, t: VTime) {
+        self.arrive_time[task] = t;
+        let pe = self.workload.tasks[task].pe;
+        match self.cfg.strategy {
+            SimStrategy::Baseline | SimStrategy::SyncFetch => {
+                self.pes[pe].run_queue.push_back(task);
+                self.push_event(t, Ev::PeTick(pe));
+            }
+            SimStrategy::IoThreads { .. } => {
+                self.wait_queues[pe].push_back(task);
+                let g = self.group_of_pe(pe);
+                self.push_event(t, Ev::IoTick(g));
+            }
+        }
+    }
+
+    fn handle_pe_tick(&mut self, pe: usize, t: VTime) {
+        if self.pes[pe].busy {
+            return;
+        }
+        let Some(task) = self.pes[pe].run_queue.pop_front() else {
+            return;
+        };
+        match self.cfg.strategy {
+            SimStrategy::Baseline => {
+                self.queue_wait_ns += t - self.arrive_time[task];
+                self.start_exec(task, pe, t);
+            }
+            SimStrategy::IoThreads { .. } => {
+                // Already fetched and referenced by the IO thread.
+                self.start_exec(task, pe, t);
+            }
+            SimStrategy::SyncFetch => {
+                // Inline fetch on the worker.
+                let missing = self.missing_bytes(task);
+                if self.hbm_used + missing > self.cfg.hbm.capacity_bytes {
+                    self.pes[pe].blocked.push_back(task);
+                    // Try the next queued task immediately.
+                    self.push_event(t, Ev::PeTick(pe));
+                    return;
+                }
+                self.add_refs(task);
+                let fetched = self.do_fetch(task, t);
+                self.pes[pe].busy_ns += fetched - t;
+                self.queue_wait_ns += fetched - self.arrive_time[task];
+                self.start_exec(task, pe, fetched);
+            }
+        }
+    }
+
+    fn handle_io_tick(&mut self, g: usize, t: VTime) {
+        if self.io[g].busy {
+            return;
+        }
+        let nqueues = self.io[g].queues.len();
+        for i in 0..nqueues {
+            let q = self.io[g].queues[(self.io[g].cursor + i) % nqueues];
+            let Some(&task) = self.wait_queues[q].front() else {
+                continue;
+            };
+            let missing = self.missing_bytes(task);
+            if self.hbm_used + missing > self.cfg.hbm.capacity_bytes {
+                // Paper behaviour: go to sleep until an eviction wakes
+                // this IO thread.
+                return;
+            }
+            self.wait_queues[q].pop_front();
+            self.io[g].cursor = (self.io[g].cursor + i + 1) % nqueues;
+            self.add_refs(task);
+            let end = self.do_fetch(task, t);
+            self.io[g].busy = true;
+            self.io[g].busy_ns += end - t;
+            self.push_event(end, Ev::FetchDone { io: g, task });
+            return;
+        }
+    }
+
+    fn handle_fetch_done(&mut self, g: usize, task: usize, t: VTime) {
+        self.io[g].busy = false;
+        self.queue_wait_ns += t - self.arrive_time[task];
+        let pe = self.workload.tasks[task].pe;
+        self.pes[pe].run_queue.push_back(task);
+        self.push_event(t, Ev::PeTick(pe));
+        self.push_event(t, Ev::IoTick(g));
+    }
+
+    fn handle_task_done(&mut self, task: usize, pe: usize, t: VTime) {
+        self.completed += 1;
+        let after_evict = self.do_complete(task, t);
+        self.pes[pe].busy_ns += after_evict - t;
+        self.pes[pe].busy = false;
+        self.makespan = self.makespan.max(after_evict);
+
+        // DAG successors become runnable at compute completion (halo
+        // sends happen inside the entry method, before post-processing).
+        let successors = self.workload.tasks[task].successors.clone();
+        for s in successors {
+            self.task_pending[s] -= 1;
+            if self.task_pending[s] == 0 {
+                self.push_event(t, Ev::Arrive(s));
+            }
+        }
+
+        match self.cfg.strategy {
+            SimStrategy::Baseline => {}
+            SimStrategy::SyncFetch => {
+                // Space may have been freed: retry blocked tasks
+                // everywhere (the liveness-preserving scan of the
+                // threaded implementation).
+                for p in 0..self.cfg.pes {
+                    while let Some(b) = self.pes[p].blocked.pop_front() {
+                        self.pes[p].run_queue.push_front(b);
+                    }
+                    if !self.pes[p].run_queue.is_empty() {
+                        self.push_event(after_evict, Ev::PeTick(p));
+                    }
+                }
+            }
+            SimStrategy::IoThreads { .. } => {
+                let g = self.group_of_pe(pe);
+                self.push_event(after_evict, Ev::IoTick(g));
+                // An eviction may unblock any IO thread.
+                for other in 0..self.io.len() {
+                    if other != g {
+                        self.push_event(after_evict, Ev::IoTick(other));
+                    }
+                }
+            }
+        }
+        self.push_event(after_evict, Ev::PeTick(pe));
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> SimReport {
+        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            match ev {
+                Ev::Arrive(task) => self.handle_arrive(task, t),
+                Ev::PeTick(pe) => self.handle_pe_tick(pe, t),
+                Ev::IoTick(g) => self.handle_io_tick(g, t),
+                Ev::FetchDone { io, task } => self.handle_fetch_done(io, task, t),
+                Ev::TaskDone { task, pe } => self.handle_task_done(task, pe, t),
+            }
+        }
+        assert_eq!(
+            self.completed,
+            self.workload.tasks.len(),
+            "simulation deadlocked: {}/{} tasks completed (strategy {:?})",
+            self.completed,
+            self.workload.tasks.len(),
+            self.cfg.strategy
+        );
+        let pe_busy: Vec<u64> = self.pes.iter().map(|p| p.busy_ns).collect();
+        SimReport {
+            strategy: self.cfg.strategy,
+            workload: self.workload.label.clone(),
+            makespan_ns: self.makespan,
+            tasks: self.completed,
+            fetches: self.fetches,
+            fetch_bytes: self.fetch_bytes,
+            evictions: self.evictions,
+            evict_bytes: self.evict_bytes,
+            queue_wait_ns: self.queue_wait_ns,
+            pe_busy_ns: pe_busy,
+            io_busy_ns: self.io.iter().map(|i| i.busy_ns).collect(),
+            ddr_bytes: self.ddr_pipe.bytes(),
+            hbm_bytes: self.hbm_pipe.bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SimBlock, SimTask, TaskCharge};
+
+    const MB: u64 = 1 << 20;
+
+    fn one_block_task(block: usize, pe: usize, bytes: u64) -> SimTask {
+        SimTask {
+            pe,
+            charges: vec![TaskCharge {
+                block,
+                read_bytes: bytes,
+                write_bytes: bytes,
+                fetch_copies: true,
+            }],
+            flops_ns: 0,
+            successors: vec![],
+            pending: 0,
+        }
+    }
+
+    fn small_cfg(strategy: SimStrategy) -> SimConfig {
+        SimConfig {
+            ddr: crate::model::NodeModel {
+                capacity_bytes: 96 * MB,
+                bandwidth_bytes_per_sec: 1_000_000_000,
+                write_penalty: 1.06,
+            },
+            hbm: crate::model::NodeModel {
+                capacity_bytes: 4 * MB,
+                bandwidth_bytes_per_sec: 4_000_000_000,
+                write_penalty: 1.0,
+            },
+            pes: 2,
+            strategy,
+            copy_thread_rate: None,
+        }
+    }
+
+    fn workload(n: usize, block_mb: u64, home: SimNode) -> Workload {
+        Workload {
+            blocks: (0..n)
+                .map(|_| SimBlock {
+                    size: block_mb * MB,
+                    home,
+                })
+                .collect(),
+            tasks: (0..n)
+                .map(|i| one_block_task(i, i % 2, block_mb * MB))
+                .collect(),
+            label: "test".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_runs_all_tasks_where_placed() {
+        let r = Simulator::new(
+            small_cfg(SimStrategy::Baseline),
+            workload(4, 1, SimNode::Ddr),
+        )
+        .run();
+        assert_eq!(r.tasks, 4);
+        assert_eq!(r.fetches, 0);
+        assert_eq!(r.evictions, 0);
+        // All traffic hit the DDR pipe.
+        assert_eq!(r.ddr_bytes, 4 * 2 * MB);
+        assert_eq!(r.hbm_bytes, 0);
+    }
+
+    #[test]
+    fn managed_strategies_fetch_and_evict() {
+        for strategy in [
+            SimStrategy::SyncFetch,
+            SimStrategy::IoThreads { threads: 1 },
+            SimStrategy::IoThreads { threads: 2 },
+        ] {
+            let r = Simulator::new(small_cfg(strategy), workload(6, 1, SimNode::Ddr)).run();
+            assert_eq!(r.tasks, 6, "{strategy:?}");
+            assert_eq!(r.fetches, 6, "{strategy:?}");
+            assert_eq!(r.evictions, 6, "{strategy:?}");
+            // Compute traffic ran from HBM.
+            assert!(r.hbm_bytes >= 6 * 2 * MB, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn managed_beats_baseline_when_data_overflows_to_ddr() {
+        // 8 blocks of 1 MB, HBM cap 4 MB: naive placement floods DDR.
+        let mut wl = workload(8, 1, SimNode::Ddr);
+        // Naive: first 4 blocks in HBM, rest overflow to DDR.
+        for b in wl.blocks.iter_mut().take(4) {
+            b.home = SimNode::Hbm;
+        }
+        let naive = Simulator::new(small_cfg(SimStrategy::Baseline), wl).run();
+        let managed = Simulator::new(
+            small_cfg(SimStrategy::IoThreads { threads: 2 }),
+            workload(8, 1, SimNode::Ddr),
+        )
+        .run();
+        // The managed run can still lose on fetch overhead at this tiny
+        // scale, but it must serve all *compute* traffic from HBM
+        // (hbm_bytes also counts fetch writes and evict reads).
+        assert_eq!(
+            managed.hbm_bytes - managed.fetch_bytes - managed.evict_bytes,
+            8 * 2 * MB
+        );
+        assert!(naive.ddr_bytes > 0);
+    }
+
+    #[test]
+    fn dag_ordering_is_respected() {
+        // Two tasks chained on one PE: the successor must arrive after
+        // the predecessor completes.
+        let mut wl = workload(2, 1, SimNode::Ddr);
+        wl.tasks[0].successors = vec![1];
+        wl.tasks[1].pending = 1;
+        wl.tasks[1].pe = 0;
+        wl.tasks[0].pe = 0;
+        let r = Simulator::new(small_cfg(SimStrategy::SyncFetch), wl).run();
+        assert_eq!(r.tasks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "task needs")]
+    fn oversized_task_rejected() {
+        let wl = workload(1, 8, SimNode::Ddr); // 8 MB block, 4 MB HBM
+        let _ = Simulator::new(small_cfg(SimStrategy::SyncFetch), wl);
+    }
+
+    #[test]
+    fn single_io_thread_serializes_fetches() {
+        // With one IO thread, total IO busy time ≈ serial sum of fetch
+        // times; with two it can halve. Compare busy spans.
+        let one = Simulator::new(
+            small_cfg(SimStrategy::IoThreads { threads: 1 }),
+            workload(8, 1, SimNode::Ddr),
+        )
+        .run();
+        let two = Simulator::new(
+            small_cfg(SimStrategy::IoThreads { threads: 2 }),
+            workload(8, 1, SimNode::Ddr),
+        )
+        .run();
+        assert_eq!(one.io_busy_ns.len(), 1);
+        assert_eq!(two.io_busy_ns.len(), 2);
+        assert!(one.tasks == 8 && two.tasks == 8);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            Simulator::new(
+                small_cfg(SimStrategy::IoThreads { threads: 2 }),
+                workload(8, 1, SimNode::Ddr),
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.queue_wait_ns, b.queue_wait_ns);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the discrete-event simulator: conservation,
+//! determinism, and strategy-independence of the work performed.
+
+use proptest::prelude::*;
+use vtsim::{
+    matmul_workload, stencil_workload, MatmulSpec, NodeModel, SimConfig, SimStrategy, Simulator,
+    StencilSpec,
+};
+
+fn small_cfg(strategy: SimStrategy, hbm_cap: u64) -> SimConfig {
+    SimConfig {
+        ddr: NodeModel {
+            capacity_bytes: 1 << 30,
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            write_penalty: 1.06,
+        },
+        hbm: NodeModel {
+            capacity_bytes: hbm_cap,
+            bandwidth_bytes_per_sec: 4_000_000_000,
+            write_penalty: 1.0,
+        },
+        pes: 4,
+        strategy,
+        copy_thread_rate: Some(200_000_000),
+    }
+}
+
+const STRATEGIES: [SimStrategy; 4] = [
+    SimStrategy::Baseline,
+    SimStrategy::SyncFetch,
+    SimStrategy::IoThreads { threads: 1 },
+    SimStrategy::IoThreads { threads: 4 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every strategy completes every task of a random stencil DAG, and
+    /// repeated runs are bit-identical (determinism).
+    #[test]
+    fn stencil_completes_under_every_strategy(
+        cx in 1usize..4, cy in 1usize..4, cz in 1usize..3,
+        iters in 1usize..4,
+        block_kib in 1u64..64,
+    ) {
+        let spec = StencilSpec {
+            chares: (cx, cy, cz),
+            block_bytes: block_kib << 10,
+            iterations: iters,
+            pes: 4,
+            hbm_fraction: 0.0,
+            flops_ns: 100,
+        };
+        let wl = stencil_workload(&spec);
+        let expected = cx * cy * cz * iters;
+        for strategy in STRATEGIES {
+            // HBM must fit at least one task (one block).
+            let cfg = small_cfg(strategy, (block_kib << 10) * 2 + 64);
+            let a = Simulator::new(cfg.clone(), wl.clone()).run();
+            prop_assert_eq!(a.tasks, expected, "{:?}", strategy);
+            let b = Simulator::new(cfg, wl.clone()).run();
+            prop_assert_eq!(a.makespan_ns, b.makespan_ns, "{:?} nondeterministic", strategy);
+        }
+    }
+
+    /// The compute traffic (bytes streamed by tasks, excluding
+    /// migrations) is identical across strategies — scheduling moves
+    /// work around, it must not create or destroy it.
+    #[test]
+    fn compute_traffic_is_strategy_invariant(
+        g in 2usize..5,
+        block_kib in 1u64..32,
+        passes in 1u64..4,
+    ) {
+        let spec = MatmulSpec {
+            grid: g,
+            block_bytes: block_kib << 10,
+            pes: 4,
+            hbm_fraction: 0.0,
+            flops_ns: 0,
+            passes,
+        };
+        let wl = matmul_workload(&spec);
+        let mut totals = Vec::new();
+        for strategy in STRATEGIES {
+            let cfg = small_cfg(strategy, (block_kib << 10) * 4 + 64);
+            let r = Simulator::new(cfg, wl.clone()).run();
+            // compute traffic = all pipe bytes minus migration copies
+            // (each migration charges its bytes on both pipes).
+            let compute = r.ddr_bytes + r.hbm_bytes
+                - 2 * (r.fetch_bytes + r.evict_bytes);
+            totals.push(compute);
+        }
+        for w in totals.windows(2) {
+            prop_assert_eq!(w[0], w[1], "compute traffic differs between strategies");
+        }
+    }
+
+    /// Baseline never migrates; managed strategies return all blocks to
+    /// DDR (fetch count equals evict count for private-block stencils).
+    #[test]
+    fn migration_bookkeeping(
+        cx in 1usize..4, cy in 1usize..3,
+        iters in 1usize..4,
+    ) {
+        let spec = StencilSpec {
+            chares: (cx, cy, 1),
+            block_bytes: 8 << 10,
+            iterations: iters,
+            pes: 4,
+            hbm_fraction: 0.0,
+            flops_ns: 0,
+        };
+        let wl = stencil_workload(&spec);
+        let base = Simulator::new(small_cfg(SimStrategy::Baseline, 1 << 20), wl.clone()).run();
+        prop_assert_eq!(base.fetches, 0);
+        prop_assert_eq!(base.evictions, 0);
+        for strategy in &STRATEGIES[1..] {
+            let r = Simulator::new(small_cfg(*strategy, 1 << 20), wl.clone()).run();
+            prop_assert_eq!(r.fetches, r.evictions, "{:?}", strategy);
+            // Each task fetches its private block exactly once.
+            prop_assert_eq!(r.fetches as usize, r.tasks, "{:?}", strategy);
+        }
+    }
+
+    /// Makespan is monotone: doubling the available bandwidth can never
+    /// slow a baseline run down.
+    #[test]
+    fn faster_memory_is_never_slower(
+        g in 2usize..5,
+        block_kib in 1u64..32,
+    ) {
+        let spec = MatmulSpec {
+            grid: g,
+            block_bytes: block_kib << 10,
+            pes: 4,
+            hbm_fraction: 0.0,
+            flops_ns: 1000,
+            passes: 2,
+        };
+        let wl = matmul_workload(&spec);
+        let slow = small_cfg(SimStrategy::Baseline, 1 << 20);
+        let mut fast = slow.clone();
+        fast.ddr.bandwidth_bytes_per_sec *= 2;
+        fast.hbm.bandwidth_bytes_per_sec *= 2;
+        let rs = Simulator::new(slow, wl.clone()).run();
+        let rf = Simulator::new(fast, wl).run();
+        prop_assert!(rf.makespan_ns <= rs.makespan_ns);
+    }
+}
