@@ -18,6 +18,7 @@ fn cfg(strategy: StrategyKind, placement: Placement) -> StencilConfig {
         topology: Topology::knl_flat_scaled_with(80 << 10, 96 << 20),
         ooc: OocConfig::default(),
         compute_passes: 2,
+        faults: None,
     }
 }
 

@@ -18,6 +18,7 @@ fn stencil_cfg(iterations: usize) -> StencilConfig {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 4,
+        faults: None,
     }
 }
 
@@ -31,6 +32,7 @@ fn matmul_cfg() -> MatmulConfig {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 2,
+        faults: None,
     }
 }
 

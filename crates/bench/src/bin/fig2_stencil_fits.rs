@@ -25,6 +25,7 @@ fn main() {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 4,
+        faults: None,
     };
 
     let mut body =

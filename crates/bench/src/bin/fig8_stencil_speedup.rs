@@ -18,16 +18,19 @@ use kernels::stencil::{run_stencil, StencilConfig};
 
 const PES: usize = 8;
 
-/// (reduced-WSS label, chare grid, block dims) — block sizes of
-/// 256 KiB / 512 KiB / 1 MiB over a constant 32 MiB total.
-const SWEEPS: &[(&str, (usize, usize, usize), (usize, usize, usize))] = &[
+/// (reduced-WSS label, chare grid, block dims).
+type Sweep = (&'static str, (usize, usize, usize), (usize, usize, usize));
+
+/// Block sizes of 256 KiB / 512 KiB / 1 MiB over a constant 32 MiB
+/// total.
+const SWEEPS: &[Sweep] = &[
     ("2", (8, 4, 4), (32, 32, 32)),
     ("4", (4, 4, 4), (64, 32, 32)),
     ("8", (4, 4, 2), (64, 64, 32)),
 ];
 
 fn config(
-    sweep: &(&str, (usize, usize, usize), (usize, usize, usize)),
+    sweep: &Sweep,
     iterations: usize,
     strategy: StrategyKind,
     placement: Placement,
@@ -42,6 +45,7 @@ fn config(
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 4,
+        faults: None,
     }
 }
 

@@ -26,6 +26,7 @@ fn config(grid: usize, strategy: StrategyKind, placement: Placement) -> MatmulCo
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 6,
+        faults: None,
     }
 }
 

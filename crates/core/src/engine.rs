@@ -38,6 +38,15 @@ pub enum FetchError {
         /// The HBM capacity budget.
         capacity: u64,
     },
+    /// Transient migration faults persisted past the configured retry
+    /// budget; the caller should run the task degraded from DDR4
+    /// rather than wedge the wait queue.
+    Exhausted {
+        /// The block whose fetch kept faulting.
+        block: u64,
+        /// Retries performed before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for FetchError {
@@ -48,11 +57,26 @@ impl std::fmt::Display for FetchError {
                 f,
                 "task needs {needed} B resident but HBM capacity is {capacity} B"
             ),
+            FetchError::Exhausted { block, attempts } => write!(
+                f,
+                "fetch of block {block} still faulting after {attempts} retries"
+            ),
         }
     }
 }
 
 impl std::error::Error for FetchError {}
+
+/// Cap on a single backoff sleep, so a misconfigured base cannot stall
+/// an IO thread for longer than the watchdog deadline.
+pub const BACKOFF_CAP_NS: u64 = 10_000_000; // 10 ms
+
+/// Delay before retry `attempt` (0-based) of a transiently-failed
+/// fetch: `base << attempt`, saturating, capped at [`BACKOFF_CAP_NS`].
+pub fn backoff_delay_ns(base: u64, attempt: u32) -> u64 {
+    base.saturating_mul(1u64 << attempt.min(20))
+        .min(BACKOFF_CAP_NS)
+}
 
 /// Fetch/evict executor bound to one memory subsystem.
 pub struct FetchEngine {
@@ -148,6 +172,7 @@ impl FetchEngine {
     fn ensure_in_hbm(&self, dep: &Dep, tracer: &Tracer, tag: u32) -> Result<(), FetchError> {
         let registry = self.mem.registry();
         let hbm = self.config.hbm;
+        let mut transient_attempts: u32 = 0;
         loop {
             match registry.node_of(dep.block) {
                 Some(n) if n == hbm => return Ok(()),
@@ -186,8 +211,34 @@ impl FetchEngine {
                             continue;
                         }
                         Err(MemError::SameNode(_)) => return Ok(()),
-                        Err(other) => {
-                            panic!("unexpected migration failure for {:?}: {other}", dep.block)
+                        Err(MemError::Transient { .. }) => {
+                            // Injected/transient fault: retry with
+                            // exponential backoff, then hand the
+                            // decision to the caller (degraded mode).
+                            if transient_attempts >= self.config.max_fetch_retries {
+                                return Err(FetchError::Exhausted {
+                                    block: dep.block.0 as u64,
+                                    attempts: transient_attempts,
+                                });
+                            }
+                            let delay =
+                                backoff_delay_ns(self.config.backoff_base, transient_attempts);
+                            transient_attempts += 1;
+                            self.stats.bump_transient_retry();
+                            if delay > 0 {
+                                self.mem.clock().sleep(delay);
+                            }
+                            continue;
+                        }
+                        Err(MemError::UnknownBlock(id)) => {
+                            // A dependence on an unregistered block is a
+                            // caller bug; fail the fetch rather than
+                            // poison the IO thread with a panic.
+                            debug_assert!(false, "fetch of unknown block {id}");
+                            return Err(FetchError::Exhausted {
+                                block: id,
+                                attempts: transient_attempts,
+                            });
                         }
                     }
                 }
@@ -244,8 +295,16 @@ impl FetchEngine {
                 self.stats.bump_evictions(registry.size_of(block) as u64);
                 true
             }
-            // Lost a race (re-referenced, being fetched, DDR full): skip.
-            Err(_) => false,
+            // Lost a race (re-referenced, being fetched, DDR full) or a
+            // transient fault: skip. The block stays in HBM and is
+            // retried by a later eviction or reclaimed on demand, so a
+            // transient eviction fault is a deferred retry — count it.
+            Err(e) => {
+                if e.is_transient() {
+                    self.stats.bump_transient_retry();
+                }
+                false
+            }
         }
     }
 
@@ -367,6 +426,76 @@ mod tests {
         engine.release_refs(&deps);
         engine.evict_unreferenced(&deps, &tracer, 0);
         assert!(mem.stats().nodes[DDR4.index()].bytes_charged >= 4096);
+    }
+
+    #[test]
+    fn backoff_sequence_doubles_and_caps() {
+        let base = 1000;
+        let seq: Vec<u64> = (0..4).map(|a| backoff_delay_ns(base, a)).collect();
+        assert_eq!(seq, vec![1000, 2000, 4000, 8000]);
+        assert_eq!(backoff_delay_ns(base, 63), BACKOFF_CAP_NS);
+        assert_eq!(backoff_delay_ns(u64::MAX, 1), BACKOFF_CAP_NS);
+        assert_eq!(backoff_delay_ns(0, 5), 0);
+    }
+
+    fn setup_with_faults(rate: f64) -> (Arc<Memory>, FetchEngine, Arc<Tracer>, Arc<StatCells>) {
+        let topo = Topology::knl_flat_scaled_with(1 << 20, 1 << 22);
+        let faults = Arc::new(hetmem::SeededFaults::new(99).with_migration_fail_rate(rate));
+        let mem = Memory::with_clock_and_faults(topo, Arc::new(VirtualClock::new()), faults);
+        let stats = Arc::new(StatCells::default());
+        let engine = FetchEngine::new(Arc::clone(&mem), OocConfig::default(), Arc::clone(&stats));
+        let collector = TraceCollector::new();
+        let tracer = collector.tracer(LaneId::io(0));
+        (mem, engine, tracer, stats)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_backoff() {
+        let (mem, engine, tracer, stats) = setup_with_faults(0.5);
+        let t0 = mem.clock().now();
+        let mut landed = 0;
+        for i in 0..20 {
+            let b = block(&mem, 512, &format!("b{i}"));
+            let deps = vec![dep(b, AccessMode::ReadOnly)];
+            engine.add_refs(&deps);
+            match engine.fetch_all(&deps, &tracer, 0) {
+                Ok(()) => {
+                    assert_eq!(mem.registry().node_of(b), Some(HBM));
+                    landed += 1;
+                }
+                // Budget exhausted: block stays usable where it was.
+                Err(FetchError::Exhausted { .. }) => {
+                    assert_eq!(mem.registry().node_of(b), Some(DDR4));
+                }
+                Err(e) => panic!("unexpected fetch error: {e}"),
+            }
+            engine.release_refs(&deps);
+        }
+        assert!(landed > 0, "no fetch survived a 50% fault rate");
+        let s = stats.snapshot();
+        assert!(s.transient_retries > 0);
+        // Backoff sleeps actually consumed (virtual) time.
+        assert!(mem.clock().now() > t0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_attempts() {
+        let (mem, engine, tracer, stats) = setup_with_faults(1.0);
+        let b = block(&mem, 512, "b");
+        let deps = vec![dep(b, AccessMode::ReadOnly)];
+        engine.add_refs(&deps);
+        let err = engine.fetch_all(&deps, &tracer, 0).unwrap_err();
+        let budget = OocConfig::default().max_fetch_retries;
+        assert_eq!(
+            err,
+            FetchError::Exhausted {
+                block: b.0 as u64,
+                attempts: budget
+            }
+        );
+        assert_eq!(stats.snapshot().transient_retries, budget as u64);
+        assert_eq!(mem.registry().node_of(b), Some(DDR4));
+        engine.release_refs(&deps);
     }
 
     #[test]

@@ -26,25 +26,46 @@ impl OocRuntime {
     /// Build a runtime with `pes` workers over `mem`, running
     /// `strategy` under `config`. The runtime shares the memory
     /// subsystem's clock so traces and bandwidth charges agree.
+    ///
+    /// Panics if the OS refuses to spawn an IO thread; use
+    /// [`OocRuntime::try_new`] to handle that case gracefully.
     pub fn new(mem: Arc<Memory>, pes: usize, strategy: StrategyKind, config: OocConfig) -> Self {
+        Self::try_new(mem, pes, strategy, config).expect("spawn IO threads")
+    }
+
+    /// Fallible [`OocRuntime::new`]: a refused IO-thread spawn comes
+    /// back as an error with the partially built runtime already shut
+    /// down, instead of aborting the process.
+    pub fn try_new(
+        mem: Arc<Memory>,
+        pes: usize,
+        strategy: StrategyKind,
+        config: OocConfig,
+    ) -> std::io::Result<Self> {
         let rt = RuntimeBuilder::new(pes)
             .clock(Arc::clone(mem.clock()))
             .build();
         let hook = match strategy {
             StrategyKind::Baseline => None,
             _ => {
-                let hook = OocHook::new(Arc::clone(&rt), Arc::clone(&mem), strategy, config);
+                let hook = match OocHook::new(Arc::clone(&rt), Arc::clone(&mem), strategy, config) {
+                    Ok(hook) => hook,
+                    Err(e) => {
+                        rt.shutdown();
+                        return Err(e);
+                    }
+                };
                 rt.set_hook(hook.clone());
                 Some(hook)
             }
         };
-        Self {
+        Ok(Self {
             rt,
             mem,
             hook,
             strategy,
             config,
-        }
+        })
     }
 
     /// The underlying converse runtime (register arrays, send messages).

@@ -14,6 +14,10 @@ pub struct StatCells {
     admitted: AtomicU64,
     completed: AtomicU64,
     queue_wait_ns: AtomicU64,
+    transient_retries: AtomicU64,
+    degraded_tasks: AtomicU64,
+    io_restarts: AtomicU64,
+    io_panics: AtomicU64,
 }
 
 impl StatCells {
@@ -47,6 +51,22 @@ impl StatCells {
         self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    pub(crate) fn bump_transient_retry(&self) {
+        self.transient_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_degraded(&self) {
+        self.degraded_tasks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_io_restart(&self) {
+        self.io_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_io_panic(&self) {
+        self.io_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> OocStats {
         OocStats {
@@ -59,6 +79,10 @@ impl StatCells {
             admitted: self.admitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            transient_retries: self.transient_retries.load(Ordering::Relaxed),
+            degraded_tasks: self.degraded_tasks.load(Ordering::Relaxed),
+            io_restarts: self.io_restarts.load(Ordering::Relaxed),
+            io_panics: self.io_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -85,6 +109,16 @@ pub struct OocStats {
     /// Total time tasks spent between interception and admission (ns) —
     /// the per-task wait the paper's Figure 5 visualises.
     pub queue_wait_ns: u64,
+    /// Retries after transient (injected) migration faults: backed-off
+    /// fetch re-attempts plus evictions deferred to a later pass.
+    pub transient_retries: u64,
+    /// Tasks that exhausted their retry budget (or were drained by the
+    /// stall watchdog) and ran from DDR4 instead of HBM.
+    pub degraded_tasks: u64,
+    /// Crashed IO threads respawned by the supervisor.
+    pub io_restarts: u64,
+    /// IO-thread panics caught by the supervisor.
+    pub io_panics: u64,
 }
 
 impl OocStats {
@@ -102,9 +136,10 @@ impl OocStats {
         }
     }
 
-    /// Render a compact report line.
+    /// Render a compact report line. Fault-handling counters are only
+    /// shown when nonzero, so clean runs read as before.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "tasks {}/{}/{} (intercepted/admitted/completed)  fetch {}x {} B  evict {}x {} B  no-space {}",
             self.intercepted,
             self.admitted,
@@ -114,7 +149,14 @@ impl OocStats {
             self.evictions,
             self.evict_bytes,
             self.no_space_events
-        )
+        );
+        if self.transient_retries + self.degraded_tasks + self.io_restarts + self.io_panics > 0 {
+            line.push_str(&format!(
+                "  retries {}  degraded {}  io-restarts {}/{}",
+                self.transient_retries, self.degraded_tasks, self.io_restarts, self.io_panics
+            ));
+        }
+        line
     }
 }
 
@@ -149,5 +191,23 @@ mod tests {
         c.bump_intercepted();
         c.bump_completed();
         assert_eq!(c.snapshot().in_flight(), 1);
+    }
+
+    #[test]
+    fn fault_counters_hidden_when_clean() {
+        let c = StatCells::default();
+        assert!(!c.snapshot().render().contains("retries"));
+        c.bump_transient_retry();
+        c.bump_degraded();
+        c.bump_io_panic();
+        c.bump_io_restart();
+        let s = c.snapshot();
+        assert_eq!(s.transient_retries, 1);
+        assert_eq!(s.degraded_tasks, 1);
+        assert_eq!(s.io_restarts, 1);
+        assert_eq!(s.io_panics, 1);
+        assert!(s
+            .render()
+            .contains("retries 1  degraded 1  io-restarts 1/1"));
     }
 }

@@ -217,7 +217,8 @@ mod tests {
             Arc::clone(&mem),
             StrategyKind::CacheMode { sets },
             OocConfig::default(),
-        );
+        )
+        .unwrap();
         rt.set_hook(hook.clone());
         for _ in 0..rounds {
             for i in 0..n {

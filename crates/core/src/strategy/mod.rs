@@ -31,7 +31,7 @@ use crate::task::{OocTask, TaskRegistry};
 use crate::waitqueue::WaitQueues;
 use converse::{Envelope, ExecutedTask, Runtime, SchedulerHook};
 use hetmem::Memory;
-use projections::{LaneId, TraceCollector, Tracer};
+use projections::{LaneId, SpanKind, TraceCollector, Tracer};
 use std::sync::Arc;
 
 /// State shared by every strategy flavour.
@@ -43,6 +43,12 @@ pub(crate) struct Shared {
     pub stats: Arc<StatCells>,
     pub collector: Arc<TraceCollector>,
     pub node_level_run_queue: bool,
+    /// Serialises the "failed admit → park in wait queue" decision
+    /// against the "evict → rescan wait queues" step of strategies
+    /// without a backstop thread (SyncFetch). Without it the last
+    /// completion's rescan can miss a task parked a moment later and
+    /// strand it forever. Fetches themselves run outside this lock.
+    pub admission: parking_lot::Mutex<()>,
 }
 
 impl Shared {
@@ -66,9 +72,12 @@ impl Shared {
     /// Reference, fetch and (on success) admit a task. On `NoSpace` the
     /// references are released, the task's own already-fetched blocks
     /// are evicted back (so a stalled fetch cannot strand HBM
-    /// capacity), and the task is returned to the caller.
+    /// capacity), and the task is returned to the caller. A fetch whose
+    /// transient-fault retry budget is exhausted degrades instead of
+    /// failing: the task runs from DDR4 rather than wedging its queue.
     pub fn try_admit(&self, task: OocTask, tracer: &Tracer) -> Result<(), OocTask> {
         let tag = task.env.index as u32;
+        let t0 = self.rt.clock().now();
         self.engine.add_refs(&task.deps);
         match self.engine.fetch_all(&task.deps, tracer, tag) {
             Ok(()) => {
@@ -80,6 +89,12 @@ impl Shared {
                 self.engine.evict_unreferenced(&task.deps, tracer, tag);
                 Err(task)
             }
+            Err(FetchError::Exhausted { .. }) => {
+                // Refs stay held; any deps that did land in HBM are
+                // used from there, the rest are read at DDR4 speed.
+                self.degrade(task, tracer, t0);
+                Ok(())
+            }
             Err(e @ FetchError::TaskTooLarge { .. }) => {
                 panic!(
                     "task for chare {} can never be scheduled: {e} — \
@@ -88,6 +103,23 @@ impl Shared {
                 );
             }
         }
+    }
+
+    /// Admit a task in degraded mode without attempting a fetch at all
+    /// (refs taken here) — the stall watchdog's drain path.
+    pub(crate) fn admit_degraded(&self, task: OocTask, tracer: &Tracer) {
+        let t0 = self.rt.clock().now();
+        self.engine.add_refs(&task.deps);
+        self.degrade(task, tracer, t0);
+    }
+
+    /// Record and count a degraded admission (refs already held).
+    fn degrade(&self, task: OocTask, tracer: &Tracer, t0: hetmem::TimeNs) {
+        let tag = task.env.index as u32;
+        let now = self.rt.clock().now();
+        tracer.record(SpanKind::Degraded, t0, now, tag);
+        self.stats.bump_degraded();
+        self.admit(task);
     }
 
     /// Admit a task whose dependences were staged (or deliberately
@@ -138,7 +170,6 @@ impl Shared {
     }
 
     /// The memory subsystem.
-    #[allow(dead_code)]
     pub fn memory(&self) -> &Arc<Memory> {
         self.engine.memory()
     }
@@ -165,6 +196,8 @@ pub struct OocHook {
 
 impl OocHook {
     /// Build the hook (and spawn IO threads if the strategy uses them).
+    /// A refused thread spawn is propagated as an error instead of
+    /// aborting the process.
     ///
     /// Panics on [`StrategyKind::Baseline`]: the baseline is "no hook
     /// installed" — construct nothing instead.
@@ -173,7 +206,7 @@ impl OocHook {
         mem: Arc<Memory>,
         kind: StrategyKind,
         config: OocConfig,
-    ) -> Arc<Self> {
+    ) -> std::io::Result<Arc<Self>> {
         let stats = Arc::new(StatCells::default());
         let io_threads = match kind {
             StrategyKind::Baseline => {
@@ -198,17 +231,18 @@ impl OocHook {
             stats,
             collector,
             node_level_run_queue: config.node_level_run_queue,
+            admission: parking_lot::Mutex::new(()),
             rt,
         });
         let flavour = match kind {
             StrategyKind::SyncFetch => Flavour::Sync,
             StrategyKind::IoThreads { threads } => {
-                Flavour::Io(IoThreadPool::spawn(Arc::clone(&shared), threads))
+                Flavour::Io(IoThreadPool::spawn(Arc::clone(&shared), threads)?)
             }
             StrategyKind::CacheMode { sets } => Flavour::Cache(CacheState::new(sets)),
             StrategyKind::Baseline => unreachable!(),
         };
-        Arc::new(Self { shared, flavour })
+        Ok(Arc::new(Self { shared, flavour }))
     }
 
     /// Runtime statistics.
@@ -234,11 +268,17 @@ impl OocHook {
         }
     }
 
-    /// Stop IO threads and join them. Idempotent.
+    /// Stop IO threads and join them. Idempotent. Panicked IO threads
+    /// are reported rather than silently discarded.
     pub fn shutdown(&self) {
         self.shared.waitq.shutdown();
         if let Flavour::Io(pool) = &self.flavour {
-            pool.join();
+            let panicked = pool.join();
+            if panicked > 0 {
+                eprintln!(
+                    "OocHook: {panicked} IO-thread panic(s) were caught and supervised this run"
+                );
+            }
         }
     }
 }

@@ -20,11 +20,36 @@ use super::Shared;
 use crate::task::OocTask;
 
 /// Pre-processing on the worker thread.
-pub(super) fn intercept(shared: &Shared, task: OocTask) {
+///
+/// Parking a task that failed admission races against the *last*
+/// completion's wait-queue rescan: if the rescan runs between our
+/// failed fetch and our push, nobody ever wakes the task again (there
+/// is no backstop IO thread in this strategy). The admission lock plus
+/// the completion-counter check close that window — a completion that
+/// sneaks in between the failed fetch and the lock is detected and the
+/// fetch retried — while the fetch itself stays outside the lock so
+/// workers still fetch their own data concurrently (the point of this
+/// strategy over a single IO thread).
+pub(super) fn intercept(shared: &Shared, mut task: OocTask) {
     let tracer = shared.worker_tracer(task.pe);
-    // Synchronous fetch: runs right here, on the PE's thread.
-    if let Err(task) = shared.try_admit(task, &tracer) {
-        shared.waitq.push(task);
+    loop {
+        let completed = shared.stats.snapshot().completed;
+        // Synchronous fetch: runs right here, on the PE's thread.
+        match shared.try_admit(task, &tracer) {
+            Ok(()) => return,
+            Err(t) => {
+                let _gate = shared.admission.lock();
+                if shared.stats.snapshot().completed != completed {
+                    // A task completed (and evicted) since the failed
+                    // fetch began; its rescan may have already missed
+                    // us. Retry with the freed space.
+                    task = t;
+                    continue;
+                }
+                shared.waitq.push(t);
+                return;
+            }
+        }
     }
 }
 
@@ -39,6 +64,10 @@ pub(super) fn intercept(shared: &Shared, task: OocTask) {
 /// that does not fit — preserving the paper's behaviour in the common
 /// case while guaranteeing liveness.
 pub(super) fn after_complete(shared: &Shared, pe: usize) {
+    // Taken after `finish_task` bumped `completed`, so a concurrent
+    // failed admission either sees the bump (and retries) or parked
+    // its task before we got the lock (and the scan below finds it).
+    let _gate = shared.admission.lock();
     let nqueues = shared.waitq.queue_count();
     let tracer = shared.worker_tracer(pe);
     for offset in 0..nqueues {
@@ -140,7 +169,8 @@ mod tests {
             Arc::clone(&mem),
             StrategyKind::SyncFetch,
             OocConfig::default(),
-        );
+        )
+        .unwrap();
         rt.set_hook(hook.clone());
 
         for i in 0..n {
@@ -215,7 +245,8 @@ mod tests {
             Arc::clone(&mem),
             StrategyKind::SyncFetch,
             OocConfig::default(),
-        );
+        )
+        .unwrap();
         rt.set_hook(hook.clone());
         let _ = ArrayId(0); // silence unused import in some cfgs
 

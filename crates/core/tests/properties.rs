@@ -109,6 +109,80 @@ proptest! {
         prop_assert!(stats.nodes[HBM.index()].peak_used_bytes <= cap);
     }
 
+    /// Under a seeded fault schedule the engine stays deterministic:
+    /// replaying the same task sequence against the same seed yields
+    /// identical per-task outcomes, final placements, fault/retry
+    /// counters and virtual-clock time — and the chaos never violates
+    /// the capacity or conservation invariants.
+    #[test]
+    fn chaos_schedules_are_deterministic(
+        sizes in prop::collection::vec(64usize..2048, 2..6),
+        tasks in prop::collection::vec(task_strategy(5), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let cap: u64 = 3 * 2048 + 512;
+        let run = || {
+            let faults = Arc::new(
+                hetmem::SeededFaults::new(seed)
+                    .with_migration_fail_rate(0.25)
+                    .with_latency_spike(0.25, 5_000),
+            );
+            let mem = Memory::with_clock_and_faults(
+                Topology::knl_flat_scaled_with(cap, 1 << 24),
+                Arc::new(VirtualClock::new()),
+                Arc::clone(&faults) as Arc<dyn hetmem::FaultInjector>,
+            );
+            let config = OocConfig {
+                max_fetch_retries: 2,
+                backoff_base: 1_000,
+                ..OocConfig::default()
+            };
+            let stats = Arc::new(Default::default());
+            let engine = FetchEngine::new(Arc::clone(&mem), config, Arc::clone(&stats));
+            let tracer = TraceCollector::new().tracer(LaneId::io(0));
+            let blocks: Vec<hetmem::BlockId> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    mem.registry()
+                        .register(mem.alloc_on_node(s, DDR4).unwrap(), format!("b{i}"))
+                })
+                .collect();
+            let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+
+            let mut outcomes: Vec<u8> = Vec::new();
+            for task in &tasks {
+                let mut deps: Vec<Dep> = Vec::new();
+                for &(bi, m) in task {
+                    let b = blocks[bi % blocks.len()];
+                    if deps.iter().all(|d| d.block != b) {
+                        deps.push(Dep { block: b, mode: mode(m) });
+                    }
+                }
+                engine.add_refs(&deps);
+                outcomes.push(match engine.fetch_all(&deps, &tracer, 0) {
+                    Ok(()) => 0,
+                    Err(FetchError::Exhausted { .. }) => 1,
+                    Err(e) => panic!("unexpected error {e}"),
+                });
+                engine.release_refs(&deps);
+                engine.evict_unreferenced(&deps, &tracer, 0);
+                // Invariants hold under chaos too: capacity respected,
+                // no block lost.
+                let ms = mem.stats();
+                prop_assert!(ms.nodes[HBM.index()].used_bytes <= ms.nodes[HBM.index()].capacity_bytes);
+                prop_assert_eq!(
+                    ms.nodes[HBM.index()].used_bytes + ms.nodes[DDR4.index()].used_bytes,
+                    total
+                );
+            }
+            let placements: Vec<_> = blocks.iter().map(|&b| mem.registry().node_of(b)).collect();
+            let fault_stats = hetmem::FaultInjector::stats(&*faults);
+            (outcomes, placements, fault_stats, stats.snapshot(), mem.clock().now())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
     /// fetch_all + evict keeps every block's refcount at zero between
     /// tasks, whatever the interleaving of shared dependences.
     #[test]

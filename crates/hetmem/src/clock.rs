@@ -214,7 +214,7 @@ mod tests {
             std::thread::yield_now();
         }
         c.advance_to(100);
-        while order.lock().len() < 1 {
+        while order.lock().is_empty() {
             std::thread::yield_now();
         }
         c.advance_to(300);

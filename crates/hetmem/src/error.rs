@@ -28,6 +28,23 @@ pub enum MemError {
     },
     /// The requested transfer is a no-op (source == destination node).
     SameNode(NodeId),
+    /// A transient, retryable failure — the software analogue of
+    /// `numa_migrate_pages` returning `-EAGAIN`. Injected by a
+    /// [`crate::faults::FaultInjector`]; callers should retry with
+    /// backoff rather than treat it as fatal.
+    Transient {
+        /// Operation that hit the fault (`"migrate"`, `"alloc"`).
+        op: &'static str,
+        /// Block involved, if the operation targeted one.
+        block: Option<u64>,
+    },
+}
+
+impl MemError {
+    /// True for errors that are expected to clear on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MemError::Transient { .. })
+    }
 }
 
 impl std::fmt::Display for MemError {
@@ -48,6 +65,10 @@ impl std::fmt::Display for MemError {
             MemError::SameNode(node) => {
                 write!(f, "transfer source and destination are both {node}")
             }
+            MemError::Transient { op, block } => match block {
+                Some(id) => write!(f, "transient {op} fault on block {id} (retryable)"),
+                None => write!(f, "transient {op} fault (retryable)"),
+            },
         }
     }
 }
@@ -70,5 +91,27 @@ mod tests {
         assert!(s.contains("node1") && s.contains("42") && s.contains("7"));
         assert!(MemError::UnknownBlock(9).to_string().contains('9'));
         assert!(MemError::SameNode(HBM).to_string().contains("node1"));
+        let t = MemError::Transient {
+            op: "migrate",
+            block: Some(3),
+        };
+        assert!(t.to_string().contains("migrate") && t.to_string().contains('3'));
+    }
+
+    #[test]
+    fn only_transient_is_transient() {
+        assert!(MemError::Transient {
+            op: "alloc",
+            block: None
+        }
+        .is_transient());
+        assert!(!MemError::UnknownBlock(1).is_transient());
+        assert!(!MemError::SameNode(HBM).is_transient());
+        assert!(!MemError::CapacityExceeded {
+            node: HBM,
+            requested: 1,
+            available: 0
+        }
+        .is_transient());
     }
 }

@@ -40,6 +40,7 @@ pub mod bandwidth;
 pub mod block;
 pub mod clock;
 pub mod error;
+pub mod faults;
 pub mod migrate;
 pub mod node;
 pub mod pool;
@@ -51,6 +52,7 @@ pub use bandwidth::{BandwidthRegulator, ChargeOutcome};
 pub use block::{AccessGuard, AccessMode, BlockId, BlockInfo, BlockRegistry, Pod, Residency};
 pub use clock::{Clock, MonotonicClock, TimeNs, VirtualClock};
 pub use error::MemError;
+pub use faults::{FaultAction, FaultInjector, FaultStats, NoFaults, SeededFaults};
 pub use migrate::{MigrationEngine, MigrationStats};
 pub use node::{MemKind, NodeId, DDR4, HBM};
 pub use pool::MemoryPool;
@@ -70,6 +72,7 @@ pub struct Memory {
     nodes: Vec<NodePlane>,
     registry: BlockRegistry,
     clock: Arc<dyn Clock>,
+    faults: Arc<dyn FaultInjector>,
 }
 
 /// Per-node backing resources.
@@ -85,8 +88,22 @@ impl Memory {
         Self::with_clock(topology, Arc::new(MonotonicClock::new()))
     }
 
+    /// Build with a fault injector for chaos testing (real clock).
+    pub fn with_faults(topology: Topology, faults: Arc<dyn FaultInjector>) -> Arc<Self> {
+        Self::with_clock_and_faults(topology, Arc::new(MonotonicClock::new()), faults)
+    }
+
     /// Build with an explicit clock (tests use [`VirtualClock`]).
     pub fn with_clock(topology: Topology, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Self::with_clock_and_faults(topology, clock, Arc::new(NoFaults))
+    }
+
+    /// Build with both an explicit clock and a fault injector.
+    pub fn with_clock_and_faults(
+        topology: Topology,
+        clock: Arc<dyn Clock>,
+        faults: Arc<dyn FaultInjector>,
+    ) -> Arc<Self> {
         let nodes = topology
             .nodes()
             .iter()
@@ -106,6 +123,7 @@ impl Memory {
             nodes,
             registry: BlockRegistry::new(),
             clock,
+            faults,
         })
     }
 
@@ -117,6 +135,12 @@ impl Memory {
     /// The clock driving bandwidth accounting.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The fault injector consulted on allocation and migration
+    /// ([`NoFaults`] unless built via a `with_*faults` constructor).
+    pub fn faults(&self) -> &Arc<dyn FaultInjector> {
+        &self.faults
     }
 
     /// The shared block registry (the `CkIOHandle` metadata store).
@@ -142,6 +166,16 @@ impl Memory {
     /// `numa_alloc_onnode` equivalent: allocate `size` bytes on `node`,
     /// failing if the node's capacity budget would be exceeded.
     pub fn alloc_on_node(&self, size: usize, node: NodeId) -> Result<AlignedBuf, MemError> {
+        match self.faults.on_alloc(node, size) {
+            FaultAction::Proceed => {}
+            FaultAction::Delay(ns) => self.clock.sleep(ns),
+            FaultAction::Fail => {
+                return Err(MemError::Transient {
+                    op: "alloc",
+                    block: None,
+                })
+            }
+        }
         self.nodes[node.index()].allocator.alloc(size, node)
     }
 
@@ -217,6 +251,17 @@ mod tests {
         assert_eq!(mem.stats().nodes[HBM.index()].used_bytes, 4096);
         mem.free(buf);
         assert_eq!(mem.stats().nodes[HBM.index()].used_bytes, 0);
+    }
+
+    #[test]
+    fn injected_alloc_fault_is_transient_and_charges_nothing() {
+        let faults = Arc::new(SeededFaults::new(1).with_alloc_fail_rate(1.0));
+        let mem = Memory::with_faults(Topology::knl_flat_scaled(), faults);
+        let err = mem.alloc_on_node(4096, HBM).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(mem.stats().nodes[HBM.index()].used_bytes, 0);
+        // DDR4 is outside the default fault node filter.
+        assert!(mem.alloc_on_node(4096, DDR4).is_ok());
     }
 
     #[test]

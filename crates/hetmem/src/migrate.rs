@@ -19,6 +19,7 @@
 use crate::block::BlockId;
 use crate::clock::TimeNs;
 use crate::error::MemError;
+use crate::faults::FaultAction;
 use crate::node::NodeId;
 use crate::pool::MemoryPool;
 use crate::Memory;
@@ -36,6 +37,11 @@ pub struct MigrationStats {
     pub total_ns: u64,
     /// Migrations that failed because the destination was full.
     pub failed_capacity: u64,
+    /// Migrations that failed transiently (injected faults); these are
+    /// retryable, unlike `failed_capacity`.
+    pub failed_transient: u64,
+    /// Total injected transfer-latency-spike time (ns).
+    pub fault_delay_ns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -44,6 +50,8 @@ struct StatCells {
     bytes_moved: AtomicU64,
     total_ns: AtomicU64,
     failed_capacity: AtomicU64,
+    failed_transient: AtomicU64,
+    fault_delay_ns: AtomicU64,
 }
 
 /// Moves registered blocks between memory nodes.
@@ -96,6 +104,24 @@ impl MigrationEngine {
         copy_contents: bool,
     ) -> Result<TimeNs, MemError> {
         let t0 = self.mem.clock().now();
+
+        // Fault injection happens before any registry state changes, so
+        // a failed attempt leaves the block exactly where it was.
+        match self.mem.faults().on_migration(id, dst) {
+            FaultAction::Proceed => {}
+            FaultAction::Delay(ns) => {
+                self.stats.fault_delay_ns.fetch_add(ns, Ordering::Relaxed);
+                self.mem.clock().sleep(ns);
+            }
+            FaultAction::Fail => {
+                self.stats.failed_transient.fetch_add(1, Ordering::Relaxed);
+                return Err(MemError::Transient {
+                    op: "migrate",
+                    block: Some(id.0 as u64),
+                });
+            }
+        }
+
         let registry = self.mem.registry();
         let (src_buf, src_node) = registry.begin_move(id, dst, require_unreferenced)?;
         let size = src_buf.len();
@@ -105,7 +131,11 @@ impl MigrationEngine {
         let mut dst_buf = match dst_buf {
             Ok(b) => b,
             Err(e) => {
-                self.stats.failed_capacity.fetch_add(1, Ordering::Relaxed);
+                if e.is_transient() {
+                    self.stats.failed_transient.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats.failed_capacity.fetch_add(1, Ordering::Relaxed);
+                }
                 registry.abort_move(id, src_buf);
                 return Err(e);
             }
@@ -165,6 +195,8 @@ impl MigrationEngine {
             bytes_moved: self.stats.bytes_moved.load(Ordering::Relaxed),
             total_ns: self.stats.total_ns.load(Ordering::Relaxed),
             failed_capacity: self.stats.failed_capacity.load(Ordering::Relaxed),
+            failed_transient: self.stats.failed_transient.load(Ordering::Relaxed),
+            fault_delay_ns: self.stats.fault_delay_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -172,6 +204,7 @@ impl MigrationEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultInjector;
     use crate::node::{DDR4, HBM};
     use crate::topology::{NodeSpec, Topology};
     use crate::{AccessMode, VirtualClock};
@@ -261,6 +294,56 @@ mod tests {
         // No bytes were charged: the contents were not transferred.
         assert_eq!(mem.stats().nodes[DDR4.index()].bytes_charged, 0);
         assert_eq!(mem.stats().nodes[HBM.index()].bytes_charged, 0);
+    }
+
+    #[test]
+    fn injected_migration_fault_leaves_block_usable() {
+        let topo = Topology::new(vec![
+            NodeSpec::new("DDR4", 1 << 20, 1_000_000_000),
+            NodeSpec::new("HBM", 1 << 16, 4_000_000_000),
+        ]);
+        let faults = Arc::new(
+            crate::SeededFaults::new(11)
+                .with_migration_fail_rate(1.0)
+                .with_alloc_fault_node(None),
+        );
+        let mem =
+            Memory::with_clock_and_faults(topo, Arc::new(VirtualClock::new()), faults.clone());
+        let engine = mem.migration_engine();
+        let mut buf = mem.alloc_on_node(1024, DDR4).unwrap();
+        buf.as_mut_slice()[9] = 42;
+        let id = mem.registry().register(buf, "m");
+
+        let err = engine.migrate(id, HBM, true, true).unwrap_err();
+        assert!(err.is_transient());
+        // Residency untouched, contents intact, stats attribute the
+        // failure to the transient bucket, not capacity.
+        assert_eq!(mem.registry().node_of(id), Some(DDR4));
+        let g = mem.registry().access(id, AccessMode::ReadOnly);
+        assert_eq!(g.bytes()[9], 42);
+        drop(g);
+        let s = engine.stats();
+        assert_eq!(s.failed_transient, 1);
+        assert_eq!(s.failed_capacity, 0);
+        assert_eq!(s.migrations, 0);
+        assert_eq!(faults.stats().migration_failures, 1);
+    }
+
+    #[test]
+    fn injected_latency_spike_slows_but_completes() {
+        let topo = Topology::new(vec![
+            NodeSpec::new("DDR4", 1 << 20, 1_000_000_000),
+            NodeSpec::new("HBM", 1 << 16, 4_000_000_000),
+        ]);
+        let faults = Arc::new(crate::SeededFaults::new(5).with_latency_spike(1.0, 1_000_000));
+        let mem = Memory::with_clock_and_faults(topo, Arc::new(VirtualClock::new()), faults);
+        let engine = mem.migration_engine();
+        let buf = mem.alloc_on_node(1024, DDR4).unwrap();
+        let id = mem.registry().register(buf, "m");
+        let dt = engine.migrate(id, HBM, true, true).unwrap();
+        assert!(dt >= 1_000_000, "spike not charged: dt={dt}");
+        assert_eq!(mem.registry().node_of(id), Some(HBM));
+        assert_eq!(engine.stats().fault_delay_ns, 1_000_000);
     }
 
     #[test]

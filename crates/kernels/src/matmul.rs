@@ -47,6 +47,9 @@ pub struct MatmulConfig {
     /// bandwidth-sensitive at scale (§V: "matrix multiplication ...
     /// with vectorization becomes bandwidth sensitive").
     pub compute_passes: usize,
+    /// Optional fault injector for chaos/resilience experiments;
+    /// `None` runs fault-free.
+    pub faults: Option<Arc<dyn hetmem::FaultInjector>>,
 }
 
 impl MatmulConfig {
@@ -61,6 +64,7 @@ impl MatmulConfig {
             ooc: OocConfig::default(),
             topology: Topology::knl_flat_scaled(),
             compute_passes: 2,
+            faults: None,
         }
     }
 
@@ -200,7 +204,10 @@ pub fn run_matmul_with_init(
     init_a: impl Fn(usize, usize) -> f64,
     init_b: impl Fn(usize, usize) -> f64,
 ) -> MatmulReport {
-    let mem = Memory::new(cfg.topology.clone());
+    let mem = match &cfg.faults {
+        Some(f) => Memory::with_faults(cfg.topology.clone(), Arc::clone(f)),
+        None => Memory::new(cfg.topology.clone()),
+    };
     let ooc = OocRuntime::new(Arc::clone(&mem), cfg.pes, cfg.strategy, cfg.ooc);
     let rt = ooc.runtime();
 
@@ -335,6 +342,7 @@ mod tests {
             ooc: OocConfig::default(),
             topology: Topology::knl_flat_scaled(),
             compute_passes: 2,
+            faults: None,
         };
         let r = run_matmul(&cfg);
         let tasks = (cfg.grid * cfg.grid) as u64;

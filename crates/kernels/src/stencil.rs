@@ -75,6 +75,9 @@ pub struct StencilConfig {
     /// §V-A) — this is what amortises one DDR4→HBM→DDR4 round trip
     /// against several block-passes at HBM speed.
     pub compute_passes: usize,
+    /// Optional fault injector for chaos/resilience experiments;
+    /// `None` runs fault-free.
+    pub faults: Option<Arc<dyn hetmem::FaultInjector>>,
 }
 
 impl StencilConfig {
@@ -90,6 +93,7 @@ impl StencilConfig {
             ooc: OocConfig::default(),
             topology: Topology::knl_flat_scaled(),
             compute_passes: 2,
+            faults: None,
         }
     }
 
@@ -424,7 +428,10 @@ pub fn run_stencil(cfg: &StencilConfig) -> StencilReport {
 }
 
 fn run_stencil_inner(cfg: &StencilConfig) -> (StencilReport, Vec<f64>, Vec<Vec<f64>>) {
-    let mem = Memory::new(cfg.topology.clone());
+    let mem = match &cfg.faults {
+        Some(f) => Memory::with_faults(cfg.topology.clone(), Arc::clone(f)),
+        None => Memory::new(cfg.topology.clone()),
+    };
     let ooc = OocRuntime::new(Arc::clone(&mem), cfg.pes, cfg.strategy, cfg.ooc);
     let rt = ooc.runtime();
 

@@ -129,9 +129,8 @@ pub fn run_stream(mem: &Arc<Memory>, cfg: &StreamConfig) -> StreamReport {
         for _ in 0..cfg.reps {
             let t0 = mem.clock().now();
             std::thread::scope(|scope| {
-                for t in 0..cfg.threads {
+                for &[a, b, c] in blocks.iter().take(cfg.threads) {
                     let mem = Arc::clone(mem);
-                    let [a, b, c] = blocks[t];
                     let pace = cfg.per_thread_bytes_per_sec;
                     scope.spawn(move || {
                         run_kernel_slice(&mem, kernel, a, b, c, n);

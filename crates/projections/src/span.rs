@@ -31,11 +31,14 @@ pub enum SpanKind {
     BlockWait,
     /// Scheduler idle: no ready task.
     Idle,
+    /// Degraded-mode admission: a task gave up on HBM (retry budget
+    /// exhausted, or drained by the stall watchdog) and ran from DDR4.
+    Degraded,
 }
 
 impl SpanKind {
     /// All kinds, in display order.
-    pub const ALL: [SpanKind; 9] = [
+    pub const ALL: [SpanKind; 10] = [
         SpanKind::Compute,
         SpanKind::Entry,
         SpanKind::Preprocess,
@@ -45,6 +48,7 @@ impl SpanKind {
         SpanKind::QueueWait,
         SpanKind::BlockWait,
         SpanKind::Idle,
+        SpanKind::Degraded,
     ];
 
     /// True for the "red" categories of the paper's Figure 5: time that
@@ -58,6 +62,7 @@ impl SpanKind {
                 | SpanKind::Evict
                 | SpanKind::QueueWait
                 | SpanKind::BlockWait
+                | SpanKind::Degraded
         )
     }
 
@@ -73,6 +78,7 @@ impl SpanKind {
             SpanKind::QueueWait => "qwait",
             SpanKind::BlockWait => "bwait",
             SpanKind::Idle => "idle",
+            SpanKind::Degraded => "degraded",
         }
     }
 
@@ -88,6 +94,7 @@ impl SpanKind {
             SpanKind::QueueWait => 'w',
             SpanKind::BlockWait => 'b',
             SpanKind::Idle => '.',
+            SpanKind::Degraded => 'D',
         }
     }
 }
@@ -177,6 +184,7 @@ mod tests {
             SpanKind::BlockWait,
             SpanKind::Preprocess,
             SpanKind::Postprocess,
+            SpanKind::Degraded,
         ] {
             assert!(k.is_overhead(), "{k} should be overhead");
         }

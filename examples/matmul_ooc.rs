@@ -24,6 +24,7 @@ fn main() {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 2,
+        faults: None,
     };
     println!(
         "MatMul: N = {} ({}x{} blocks of 64², total {} MiB, HBM 16 MiB)\n",

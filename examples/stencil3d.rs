@@ -26,6 +26,7 @@ fn main() {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 4,
+        faults: None,
     };
 
     println!("Stencil3D: 32 chares x 1 MiB, {iterations} iterations, 8 PEs, HBM 16 MiB\n");

@@ -21,6 +21,7 @@ fn matmul_cfg(strategy: StrategyKind, placement: Placement) -> MatmulConfig {
         // admission is always possible.
         topology: Topology::knl_flat_scaled_with(64 << 10, 96 << 20),
         compute_passes: 2,
+        faults: None,
     }
 }
 
@@ -82,6 +83,7 @@ fn stencil_fetch_evict_bookkeeping_balances() {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled_with(80 << 10, 96 << 20),
         compute_passes: 2,
+        faults: None,
     };
     let r = run_stencil(&cfg);
     assert_eq!(r.stats.completed, 4 * 3);
@@ -110,6 +112,7 @@ fn managed_strategies_beat_ddr_only_on_bandwidth_bound_work() {
         // HBM holds 3 of 8 blocks.
         topology: Topology::knl_flat_scaled_with(800 << 10, 96 << 20),
         compute_passes: 6,
+        faults: None,
     };
     let ddr_only = run_stencil(&mk(StrategyKind::Baseline, Placement::DdrOnly));
     let managed = run_stencil(&mk(StrategyKind::multi_io(4), Placement::DdrOnly));

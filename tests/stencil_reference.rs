@@ -37,7 +37,7 @@ fn reference_full(cfg: &StencilConfig) -> Vec<Vec<f64>> {
                 for y in 0..by {
                     for x in 0..bx {
                         let me = at(&old[c], x, y, z);
-                        let mut get = |dx: i64, dy: i64, dz: i64| -> f64 {
+                        let get = |dx: i64, dy: i64, dz: i64| -> f64 {
                             let (mut nx, mut ny, mut nz) =
                                 (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             let (mut bgx, mut bgy, mut bgz) = (gx as i64, gy as i64, gz as i64);
@@ -113,6 +113,7 @@ fn base_cfg() -> StencilConfig {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled(),
         compute_passes: 1,
+        faults: None,
     }
 }
 

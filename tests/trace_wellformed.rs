@@ -18,6 +18,7 @@ fn cfg(strategy: StrategyKind) -> StencilConfig {
         ooc: OocConfig::default(),
         topology: Topology::knl_flat_scaled_with(40 << 10, 96 << 20),
         compute_passes: 2,
+        faults: None,
     }
 }
 

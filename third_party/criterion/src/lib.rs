@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! `benchmark_group`, `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a deliberately simple measurement loop: warm up once, run a
+//! bounded number of timed iterations, and print mean time (plus
+//! throughput when configured). No statistics, plotting, or comparison
+//! against saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for measurement.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            total: Duration::ZERO,
+            measured_iters: 0,
+            measurement_budget: self.measurement_time,
+        };
+        // One untimed pass warms caches and amortises lazy setup.
+        {
+            let mut warm = Bencher {
+                iters: 1,
+                total: Duration::ZERO,
+                measured_iters: 0,
+                measurement_budget: self.warm_up_time,
+            };
+            f(&mut warm, input);
+        }
+        f(&mut b, input);
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        if b.measured_iters == 0 {
+            println!("{label}: no iterations measured");
+            return self;
+        }
+        let mean = b.total / b.measured_iters as u32;
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / mean.as_secs_f64();
+                println!("{label}: {mean:?}/iter ({rate:.3e} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / mean.as_secs_f64() / (1 << 30) as f64;
+                println!("{label}: {mean:?}/iter ({rate:.3} GiB/s)");
+            }
+            None => println!("{label}: {mean:?}/iter"),
+        }
+        self
+    }
+
+    /// Finish the group (reporting already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Timed-loop driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    measured_iters: u64,
+    measurement_budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.measured_iters += 1;
+            if started.elapsed() > self.measurement_budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x + 1
+            });
+        });
+        group.finish();
+        // 1 warm-up pass + up to sample_size measured iterations.
+        assert!(runs >= 2);
+    }
+}

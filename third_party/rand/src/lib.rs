@@ -1,0 +1,121 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over half-open ranges — the surface this workspace
+//! uses. The generator is splitmix64: deterministic, seedable, and
+//! statistically fine for test-data generation (not cryptographic).
+
+use std::ops::Range;
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Rngs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)` given a 64-bit random word source.
+    fn sample_uniform(lo: Self, hi: Self, word: u64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(lo: Self, hi: Self, word: u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((word as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform(lo: Self, hi: Self, word: u64) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform(lo: Self, hi: Self, word: u64) -> Self {
+        f64::sample_uniform(lo as f64, hi as f64, word) as f32
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range on empty range");
+        T::sample_uniform(range.start, range.end, self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+}
