@@ -104,9 +104,8 @@ fn main() {
                 let tasks = (cfg.grid * cfg.grid) as u64;
                 (r.total_ns, r.checksum, r.stats, tasks)
             };
-            let injected = injector
-                .map(|f| hetmem::FaultInjector::stats(&*f).migration_failures)
-                .unwrap_or(0);
+            let injected =
+                injector.map_or(0, |f| hetmem::FaultInjector::stats(&*f).migration_failures);
             assert_eq!(
                 stats.completed, tasks,
                 "{kernel} at {rate}: not all tasks completed"

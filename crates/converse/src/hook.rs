@@ -39,6 +39,20 @@ pub trait SchedulerHook: Send + Sync {
     /// it via `Runtime::inject` with `admitted = true`.
     fn on_intercept(&self, pe: usize, env: Envelope);
 
+    /// An admitted message is about to execute on `pe`. Called on the
+    /// worker thread immediately before the entry method runs, with the
+    /// admission token still stamped in `env` — the attachment point
+    /// for task-scoped analysis (hetcheck's dependence-conformance
+    /// sanitizer enters its thread-local task scope here). Default:
+    /// no-op.
+    fn on_execute_begin(&self, _pe: usize, _env: &Envelope) {}
+
+    /// An admitted message finished its entry method on `pe`, before
+    /// [`SchedulerHook::on_complete`] post-processing. Called on the
+    /// same worker thread as [`SchedulerHook::on_execute_begin`].
+    /// Default: no-op.
+    fn on_execute_end(&self, _pe: usize, _done: &ExecutedTask) {}
+
     /// An admitted message finished executing (post-processing).
     fn on_complete(&self, done: ExecutedTask);
 

@@ -290,7 +290,7 @@ impl Runtime {
     pub fn wait_quiescence_ms(&self, timeout_ms: u64) -> bool {
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
         loop {
-            let hook_pending = self.hook.read().as_ref().map(|h| h.pending()).unwrap_or(0);
+            let hook_pending = self.hook.read().as_ref().map_or(0, |h| h.pending());
             let queued: usize = self.queues.iter().map(|q| q.len()).sum();
             let processed = self.processed_count();
             let sent = self.sent_count();
@@ -299,7 +299,7 @@ impl Runtime {
                 std::thread::sleep(std::time::Duration::from_micros(300));
                 let stable = self.processed_count() == self.sent_count()
                     && self.queues.iter().all(|q| q.is_empty())
-                    && self.hook.read().as_ref().map(|h| h.pending()).unwrap_or(0) == 0;
+                    && self.hook.read().as_ref().map_or(0, |h| h.pending()) == 0;
                 if stable {
                     return true;
                 }
@@ -382,17 +382,28 @@ fn process(rt: &Arc<Runtime>, pe: usize, env: Envelope, tracer: &Arc<Tracer>) {
     } else {
         SpanKind::Entry
     };
+    // Admitted tasks execute inside the hook's begin/end bracket so
+    // task-scoped analyses (hetcheck) can attribute block accesses to
+    // the running task's token on this worker thread.
+    let hook = if was_admitted {
+        rt.hook.read().clone()
+    } else {
+        None
+    };
+    if let Some(hook) = &hook {
+        hook.on_execute_begin(pe, &env);
+    }
     let t0 = rt.clock.now();
     dispatch.execute(env, rt, pe);
     let t1 = rt.clock.now();
+    if let Some(hook) = &hook {
+        hook.on_execute_end(pe, &done);
+    }
     tracer.record(kind, t0, t1, done.index as u32);
     rt.processed.fetch_add(1, Ordering::Relaxed);
 
-    if was_admitted {
-        let hook = rt.hook.read().clone();
-        if let Some(hook) = hook {
-            hook.on_complete(done);
-        }
+    if let Some(hook) = hook {
+        hook.on_complete(done);
     }
 }
 

@@ -9,6 +9,7 @@ use crate::config::{OocConfig, StrategyKind};
 use crate::stats::OocStats;
 use crate::strategy::OocHook;
 use converse::{Runtime, RuntimeBuilder};
+use hetcheck::Checker;
 use hetmem::Memory;
 use projections::Trace;
 use std::sync::Arc;
@@ -18,8 +19,27 @@ pub struct OocRuntime {
     rt: Arc<Runtime>,
     mem: Arc<Memory>,
     hook: Option<Arc<OocHook>>,
+    checker: Option<Arc<Checker>>,
     strategy: StrategyKind,
     config: OocConfig,
+}
+
+/// Pick the checker for a runtime that was not handed one explicitly:
+/// the process-global registry first (how `schedule_lint` reaches
+/// runtimes built deep inside kernel drivers), then the `sanitizer`
+/// feature's panicking default.
+fn default_checker() -> Option<Arc<Checker>> {
+    if let Some(checker) = hetcheck::global::current() {
+        return Some(checker);
+    }
+    #[cfg(feature = "sanitizer")]
+    {
+        Some(Arc::new(Checker::new(hetcheck::ViolationAction::Panic)))
+    }
+    #[cfg(not(feature = "sanitizer"))]
+    {
+        None
+    }
 }
 
 impl OocRuntime {
@@ -36,19 +56,48 @@ impl OocRuntime {
     /// Fallible [`OocRuntime::new`]: a refused IO-thread spawn comes
     /// back as an error with the partially built runtime already shut
     /// down, instead of aborting the process.
+    ///
+    /// A hetcheck checker is attached automatically when one is
+    /// installed in [`hetcheck::global`] or when the `sanitizer` cargo
+    /// feature is on; use [`OocRuntime::try_new_with_checker`] to pass
+    /// one explicitly.
     pub fn try_new(
         mem: Arc<Memory>,
         pes: usize,
         strategy: StrategyKind,
         config: OocConfig,
     ) -> std::io::Result<Self> {
+        Self::try_new_with_checker(mem, pes, strategy, config, default_checker())
+    }
+
+    /// [`OocRuntime::try_new`] with an explicit hetcheck checker (or
+    /// explicitly none — `None` here disables the global/feature
+    /// defaults too). The checker is installed as the block registry's
+    /// observer, so it sees block traffic even under
+    /// [`StrategyKind::Baseline`], where no scheduler hook exists.
+    pub fn try_new_with_checker(
+        mem: Arc<Memory>,
+        pes: usize,
+        strategy: StrategyKind,
+        config: OocConfig,
+        checker: Option<Arc<Checker>>,
+    ) -> std::io::Result<Self> {
+        if let Some(checker) = &checker {
+            checker.install(mem.registry());
+        }
         let rt = RuntimeBuilder::new(pes)
             .clock(Arc::clone(mem.clock()))
             .build();
         let hook = match strategy {
             StrategyKind::Baseline => None,
             _ => {
-                let hook = match OocHook::new(Arc::clone(&rt), Arc::clone(&mem), strategy, config) {
+                let hook = match OocHook::with_checker(
+                    Arc::clone(&rt),
+                    Arc::clone(&mem),
+                    strategy,
+                    config,
+                    checker.clone(),
+                ) {
                     Ok(hook) => hook,
                     Err(e) => {
                         rt.shutdown();
@@ -63,6 +112,7 @@ impl OocRuntime {
             rt,
             mem,
             hook,
+            checker,
             strategy,
             config,
         })
@@ -88,9 +138,14 @@ impl OocRuntime {
         &self.config
     }
 
-    /// Strategy statistics (zeroes under [`StrategyKind::Baseline`]).
+    /// Strategy statistics (zeroes under [`StrategyKind::Baseline`],
+    /// except `violations`, which any attached checker still reports).
     pub fn stats(&self) -> OocStats {
-        self.hook.as_ref().map(|h| h.stats()).unwrap_or_default()
+        let mut stats = self.hook.as_ref().map(|h| h.stats()).unwrap_or_default();
+        if let Some(checker) = &self.checker {
+            stats.violations = checker.violation_count();
+        }
+        stats
     }
 
     /// Migration statistics from the fetch engine, if a hook is active.
@@ -109,6 +164,11 @@ impl OocRuntime {
     /// Cache hit/miss statistics (cache-mode strategy only).
     pub fn cache_stats(&self) -> Option<crate::CacheStats> {
         self.hook.as_ref().and_then(|h| h.cache_stats())
+    }
+
+    /// The attached hetcheck checker, if any.
+    pub fn checker(&self) -> Option<&Arc<Checker>> {
+        self.checker.as_ref()
     }
 
     /// Wait for quiescence (all messages executed, nothing pending).

@@ -83,6 +83,7 @@ impl StatCells {
             degraded_tasks: self.degraded_tasks.load(Ordering::Relaxed),
             io_restarts: self.io_restarts.load(Ordering::Relaxed),
             io_panics: self.io_panics.load(Ordering::Relaxed),
+            violations: 0,
         }
     }
 }
@@ -119,6 +120,9 @@ pub struct OocStats {
     pub io_restarts: u64,
     /// IO-thread panics caught by the supervisor.
     pub io_panics: u64,
+    /// hetcheck violations recorded by an attached checker running in
+    /// counting mode (0 when no checker is attached).
+    pub violations: u64,
 }
 
 impl OocStats {
@@ -155,6 +159,9 @@ impl OocStats {
                 "  retries {}  degraded {}  io-restarts {}/{}",
                 self.transient_retries, self.degraded_tasks, self.io_restarts, self.io_panics
             ));
+        }
+        if self.violations > 0 {
+            line.push_str(&format!("  HETCHECK VIOLATIONS {}", self.violations));
         }
         line
     }
@@ -209,5 +216,14 @@ mod tests {
         assert!(s
             .render()
             .contains("retries 1  degraded 1  io-restarts 1/1"));
+    }
+
+    #[test]
+    fn violations_render_only_when_nonzero() {
+        let c = StatCells::default();
+        let mut s = c.snapshot();
+        assert!(!s.render().contains("VIOLATIONS"));
+        s.violations = 3;
+        assert!(s.render().contains("HETCHECK VIOLATIONS 3"));
     }
 }

@@ -30,6 +30,7 @@ use crate::stats::StatCells;
 use crate::task::{OocTask, TaskRegistry};
 use crate::waitqueue::WaitQueues;
 use converse::{Envelope, ExecutedTask, Runtime, SchedulerHook};
+use hetcheck::Checker;
 use hetmem::Memory;
 use projections::{LaneId, SpanKind, TraceCollector, Tracer};
 use std::sync::Arc;
@@ -43,6 +44,11 @@ pub(crate) struct Shared {
     pub stats: Arc<StatCells>,
     pub collector: Arc<TraceCollector>,
     pub node_level_run_queue: bool,
+    /// Attached hetcheck checker: receives task admission/completion
+    /// events and brackets entry-method execution with a sanitizer
+    /// scope. Block-level events reach it separately, as the block
+    /// registry's observer.
+    pub checker: Option<Arc<Checker>>,
     /// Serialises the "failed admit → park in wait queue" decision
     /// against the "evict → rescan wait queues" step of strategies
     /// without a backstop thread (SyncFetch). Without it the last
@@ -119,7 +125,7 @@ impl Shared {
         let now = self.rt.clock().now();
         tracer.record(SpanKind::Degraded, t0, now, tag);
         self.stats.bump_degraded();
-        self.admit(task);
+        self.admit_inner(task, true);
     }
 
     /// Admit a task whose dependences were staged (or deliberately
@@ -132,13 +138,24 @@ impl Shared {
     /// Stamp and inject an admitted task (its deps are in HBM, refs
     /// held).
     fn admit(&self, task: OocTask) {
+        self.admit_inner(task, false);
+    }
+
+    fn admit_inner(&self, task: OocTask, degraded: bool) {
         let OocTask {
             mut env,
             deps,
             pe,
             enqueued_at,
         } = task;
+        let blocks = self
+            .checker
+            .as_ref()
+            .map(|_| deps.iter().map(|d| d.block).collect::<Vec<_>>());
         let token = self.tasks.admit(deps);
+        if let (Some(checker), Some(blocks)) = (&self.checker, blocks) {
+            checker.task_admitted(token, blocks, degraded);
+        }
         env.admitted = true;
         env.token = token;
         let now = self.rt.clock().now();
@@ -160,6 +177,9 @@ impl Shared {
             .tasks
             .complete(done.token)
             .expect("completed task must have been admitted");
+        if let Some(checker) = &self.checker {
+            checker.task_completed(done.token);
+        }
         let tracer = self.worker_tracer(done.pe);
         self.engine.release_refs(&deps);
         self.engine
@@ -207,6 +227,22 @@ impl OocHook {
         kind: StrategyKind,
         config: OocConfig,
     ) -> std::io::Result<Arc<Self>> {
+        Self::with_checker(rt, mem, kind, config, None)
+    }
+
+    /// [`OocHook::new`] with a hetcheck checker attached: the checker
+    /// receives task admission/completion events and its sanitizer
+    /// scope brackets every admitted entry method. The caller is
+    /// responsible for installing the checker as the block registry's
+    /// observer (see `Checker::install`) — typically `OocRuntime` does
+    /// both.
+    pub fn with_checker(
+        rt: Arc<Runtime>,
+        mem: Arc<Memory>,
+        kind: StrategyKind,
+        config: OocConfig,
+        checker: Option<Arc<Checker>>,
+    ) -> std::io::Result<Arc<Self>> {
         let stats = Arc::new(StatCells::default());
         let io_threads = match kind {
             StrategyKind::Baseline => {
@@ -232,6 +268,7 @@ impl OocHook {
             collector,
             node_level_run_queue: config.node_level_run_queue,
             admission: parking_lot::Mutex::new(()),
+            checker,
             rt,
         });
         let flavour = match kind {
@@ -247,7 +284,16 @@ impl OocHook {
 
     /// Runtime statistics.
     pub fn stats(&self) -> crate::OocStats {
-        self.shared.stats.snapshot()
+        let mut stats = self.shared.stats.snapshot();
+        if let Some(checker) = &self.shared.checker {
+            stats.violations = checker.violation_count();
+        }
+        stats
+    }
+
+    /// The attached hetcheck checker, if any.
+    pub fn checker(&self) -> Option<&Arc<Checker>> {
+        self.shared.checker.as_ref()
     }
 
     /// Migration statistics (from the fetch engine).
@@ -290,6 +336,25 @@ impl SchedulerHook for OocHook {
             Flavour::Sync => sync_fetch::intercept(&self.shared, task),
             Flavour::Io(pool) => pool.intercept(task),
             Flavour::Cache(state) => cache_mode::intercept(&self.shared, state, task),
+        }
+    }
+
+    fn on_execute_begin(&self, _pe: usize, env: &Envelope) {
+        if let Some(checker) = &self.shared.checker {
+            // The record is removed only in on_complete, which runs
+            // after on_execute_end — so a missing record here means a
+            // foreign (non-prefetch) envelope, not a race.
+            if let Some(deps) = self.shared.tasks.deps_of(env.token) {
+                checker.enter_task(env.token, deps);
+            }
+        }
+    }
+
+    fn on_execute_end(&self, _pe: usize, done: &ExecutedTask) {
+        if let Some(checker) = &self.shared.checker {
+            if self.shared.tasks.deps_of(done.token).is_some() {
+                checker.exit_task(done.token);
+            }
         }
     }
 

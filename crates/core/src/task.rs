@@ -29,9 +29,24 @@ pub struct OocTask {
 impl OocTask {
     /// Total bytes of dependences *not yet* resident on `node` — what a
     /// fetch still has to move.
+    ///
+    /// Panics if a dependence names a block `registry` has never seen:
+    /// a dangling `BlockId` in a dep list is a wiring bug (the chare
+    /// declared a block from a different `Memory`, or one that was
+    /// never registered), and silently pricing it as "missing" would
+    /// wedge the fetch engine on an unfetchable task.
     pub fn missing_bytes(&self, registry: &hetmem::BlockRegistry, node: hetmem::NodeId) -> u64 {
         self.deps
             .iter()
+            .inspect(|d| {
+                assert!(
+                    registry.contains(d.block),
+                    "dependence of chare {} names unregistered {:?} — \
+                     declared blocks must be registered with this runtime's Memory",
+                    self.env.index,
+                    d.block
+                );
+            })
             .filter(|d| registry.node_of(d.block) != Some(node))
             .map(|d| registry.size_of(d.block) as u64)
             .sum()
@@ -62,16 +77,37 @@ impl TaskRegistry {
     }
 
     /// Store a task's dependences and return the token to stamp into
-    /// its envelope. Tokens start at 1 (0 means "never admitted").
+    /// its envelope. Tokens start at 1 (0 means "never admitted") and
+    /// wrap around 0 rather than overflowing; a wrapped token that is
+    /// somehow still in flight after 2^64 admissions is a hard error.
     pub fn admit(&self, deps: Vec<Dep>) -> u64 {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed) + 1;
-        self.records.lock().insert(token, deps);
+        let mut token = self
+            .next_token
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(1);
+        if token == 0 {
+            // Wrapped: skip the "never admitted" sentinel.
+            token = self
+                .next_token
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_add(1);
+        }
+        let prev = self.records.lock().insert(token, deps);
+        assert!(
+            prev.is_none(),
+            "token {token} wrapped around while still in flight"
+        );
         token
     }
 
     /// Remove and return the dependences for a completed task.
     pub fn complete(&self, token: u64) -> Option<Vec<Dep>> {
         self.records.lock().remove(&token)
+    }
+
+    /// The dependences of an in-flight task, if `token` is current.
+    pub fn deps_of(&self, token: u64) -> Option<Vec<Dep>> {
+        self.records.lock().get(&token).cloned()
     }
 
     /// Number of admitted-but-not-completed tasks.
@@ -105,6 +141,106 @@ mod tests {
         assert_eq!(deps.len(), 2);
         assert_eq!(reg.in_flight(), 1);
         assert!(reg.complete(t1).is_none(), "double completion is caught");
+    }
+
+    #[test]
+    fn stale_token_complete_is_inert() {
+        let reg = TaskRegistry::new();
+        let t1 = reg.admit(vec![dep(1)]);
+        assert!(reg.complete(t1).is_some());
+        // A worker replaying the same completion (e.g. after a
+        // supervised IO-thread restart) must find nothing and must not
+        // disturb other in-flight tasks.
+        let t2 = reg.admit(vec![dep(2)]);
+        assert!(reg.complete(t1).is_none());
+        assert!(reg.complete(0).is_none(), "the never-admitted sentinel");
+        assert_eq!(reg.in_flight(), 1);
+        assert!(reg.deps_of(t2).is_some());
+    }
+
+    #[test]
+    fn token_wraparound_skips_the_sentinel() {
+        let reg = TaskRegistry::new();
+        reg.next_token.store(u64::MAX - 1, Ordering::Relaxed);
+        let a = reg.admit(vec![dep(1)]); // u64::MAX
+        let b = reg.admit(vec![dep(2)]); // wraps: 0 is skipped
+        let c = reg.admit(vec![dep(3)]);
+        assert_eq!(a, u64::MAX);
+        assert_ne!(b, 0, "token 0 means 'never admitted' and must be skipped");
+        assert_eq!(b, 1);
+        assert_eq!(c, 2);
+        assert_eq!(reg.in_flight(), 3);
+        assert_eq!(reg.complete(a).unwrap().len(), 1);
+        assert_eq!(reg.complete(b).unwrap().len(), 1);
+        assert_eq!(reg.complete(c).unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrapped around while still in flight")]
+    fn token_collision_after_wraparound_is_fatal() {
+        let reg = TaskRegistry::new();
+        let t = reg.admit(vec![dep(1)]);
+        assert_eq!(t, 1);
+        // Simulate 2^64 admissions with token 1 still outstanding.
+        reg.next_token.store(u64::MAX, Ordering::Relaxed);
+        reg.admit(vec![dep(2)]); // would mint token 1 again
+    }
+
+    #[test]
+    fn in_flight_is_consistent_under_concurrent_admit_complete() {
+        use std::sync::Arc;
+        let reg = Arc::new(TaskRegistry::new());
+        let threads = 4u32;
+        let per_thread = 250u32;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..per_thread {
+                        let tok = reg.admit(vec![dep(t * per_thread + i)]);
+                        held.push(tok);
+                        // Complete every other task immediately; the
+                        // rest stay in flight until the end.
+                        if i % 2 == 0 {
+                            let deps = reg.complete(tok).expect("own fresh token");
+                            assert_eq!(deps.len(), 1);
+                            held.pop();
+                        }
+                    }
+                    held
+                })
+            })
+            .collect();
+        let mut outstanding = Vec::new();
+        for h in handles {
+            outstanding.extend(h.join().unwrap());
+        }
+        // All tokens unique across threads.
+        let unique: std::collections::HashSet<u64> = outstanding.iter().copied().collect();
+        assert_eq!(unique.len(), outstanding.len());
+        assert_eq!(reg.in_flight(), outstanding.len());
+        for tok in outstanding {
+            assert!(reg.complete(tok).is_some());
+        }
+        assert_eq!(reg.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "names unregistered")]
+    fn missing_bytes_rejects_unregistered_blocks() {
+        let topo = hetmem::Topology::knl_flat_scaled();
+        let mem = hetmem::Memory::new(topo);
+        let task = OocTask {
+            env: Envelope::new(ArrayId(0), 0, EntryId(0), Box::new(())),
+            deps: vec![Dep {
+                block: BlockId(999),
+                mode: AccessMode::ReadOnly,
+            }],
+            pe: 0,
+            enqueued_at: 0,
+        };
+        task.missing_bytes(mem.registry(), hetmem::HBM);
     }
 
     #[test]

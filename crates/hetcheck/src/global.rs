@@ -1,0 +1,64 @@
+//! Process-global checker registry.
+//!
+//! Kernel drivers (`run_matmul`, `run_stencil`) construct their
+//! `OocRuntime` internally, so external tools cannot pass a
+//! [`Checker`] through their config structs. Instead, a tool such as
+//! `schedule_lint` installs a checker here before invoking the kernel;
+//! `OocRuntime` construction consults [`current`] when no checker was
+//! given explicitly.
+//!
+//! The registry holds one checker at a time. Install a *fresh* checker
+//! per kernel run — block ids restart from zero in every new `Memory`,
+//! so sharing one recording across runs would conflate blocks.
+
+use crate::Checker;
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn slot() -> &'static Mutex<Option<Arc<Checker>>> {
+    static CURRENT: OnceLock<Mutex<Option<Arc<Checker>>>> = OnceLock::new();
+    CURRENT.get_or_init(|| Mutex::new(None))
+}
+
+/// Make `checker` the process-global checker, returning the previous
+/// one, if any.
+pub fn install(checker: Arc<Checker>) -> Option<Arc<Checker>> {
+    slot()
+        .lock()
+        .expect("checker registry poisoned")
+        .replace(checker)
+}
+
+/// Remove and return the process-global checker.
+pub fn clear() -> Option<Arc<Checker>> {
+    slot().lock().expect("checker registry poisoned").take()
+}
+
+/// The process-global checker, if one is installed.
+pub fn current() -> Option<Arc<Checker>> {
+    slot().lock().expect("checker registry poisoned").clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ViolationAction;
+
+    #[test]
+    fn install_replace_clear_round_trip() {
+        // Serialize against any other test using the global slot.
+        let a = Arc::new(Checker::new(ViolationAction::Count));
+        let b = Arc::new(Checker::new(ViolationAction::Count));
+        let prev = install(Arc::clone(&a));
+        assert!(current().is_some());
+        let old = install(Arc::clone(&b)).expect("a was installed");
+        assert!(Arc::ptr_eq(&old, &a));
+        let last = clear().expect("b was installed");
+        assert!(Arc::ptr_eq(&last, &b));
+        // Restore whatever was there before this test.
+        if let Some(p) = prev {
+            install(p);
+        } else {
+            assert!(current().is_none());
+        }
+    }
+}

@@ -1,0 +1,656 @@
+//! Offline schedule linter: replay a recorded trace and check the
+//! runtime's global invariants.
+//!
+//! The linter is independent of the live checker — it consumes a
+//! [`Trace`] (from a file or a [`crate::ScheduleLog`] snapshot) and
+//! re-derives block residency, refcounts, and HBM occupancy from the
+//! event stream alone. Invariants checked:
+//!
+//! * a fetch never targets a block already resident in HBM,
+//! * refcounts never go negative, and the recorded counts agree with
+//!   the replayed ones,
+//! * eviction only happens at refcount zero,
+//! * HBM occupancy never exceeds the recorded capacity,
+//! * every admitted task eventually completes (degraded admissions
+//!   included), no task completes twice or without admission.
+
+use crate::schedule::{ScheduleEvent, Trace};
+use hetmem::BlockId;
+use std::collections::{HashMap, HashSet};
+
+/// One invariant breach found while replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintFinding {
+    /// An event referenced a block the trace never registered.
+    UnknownBlock {
+        /// Clock time of the offending event.
+        at_ns: u64,
+        /// The unregistered block.
+        block: BlockId,
+    },
+    /// A fetch (move to HBM) targeted a block already resident in HBM.
+    FetchOfResident {
+        /// Clock time of the move begin.
+        at_ns: u64,
+        /// The already-resident block.
+        block: BlockId,
+    },
+    /// A `ReleaseRef` would drive the replayed refcount below zero.
+    NegativeRefcount {
+        /// Clock time of the release.
+        at_ns: u64,
+        /// The over-released block.
+        block: BlockId,
+    },
+    /// The refcount recorded in an event disagrees with the replay.
+    RefcountMismatch {
+        /// Clock time of the event.
+        at_ns: u64,
+        /// The block in question.
+        block: BlockId,
+        /// Refcount the event recorded.
+        recorded: usize,
+        /// Refcount the replay computed.
+        replayed: usize,
+    },
+    /// An eviction (move to DDR4) started while the block was still
+    /// referenced.
+    EvictReferenced {
+        /// Clock time of the move begin.
+        at_ns: u64,
+        /// The still-pinned block.
+        block: BlockId,
+        /// Refcount at move begin.
+        refcount: usize,
+    },
+    /// Resident HBM bytes exceeded the recorded capacity.
+    HbmOverCapacity {
+        /// Clock time at which occupancy crossed capacity.
+        at_ns: u64,
+        /// Resident bytes after the event.
+        occupancy: usize,
+        /// The recorded HBM capacity.
+        capacity: usize,
+    },
+    /// A task was admitted but the trace ended without its completion.
+    TaskNeverCompleted {
+        /// The dangling admission token.
+        token: u64,
+    },
+    /// A completion arrived for a token never admitted (or already
+    /// completed).
+    CompleteWithoutAdmit {
+        /// Clock time of the completion.
+        at_ns: u64,
+        /// The unmatched token.
+        token: u64,
+    },
+    /// The same token was admitted twice.
+    DuplicateAdmit {
+        /// Clock time of the second admission.
+        at_ns: u64,
+        /// The repeated token.
+        token: u64,
+    },
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintFinding::UnknownBlock { at_ns, block } => {
+                write!(f, "[{at_ns} ns] event references unregistered {block}")
+            }
+            LintFinding::FetchOfResident { at_ns, block } => {
+                write!(f, "[{at_ns} ns] fetch of {block} which is already resident in HBM")
+            }
+            LintFinding::NegativeRefcount { at_ns, block } => {
+                write!(f, "[{at_ns} ns] refcount of {block} released below zero")
+            }
+            LintFinding::RefcountMismatch {
+                at_ns,
+                block,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "[{at_ns} ns] {block} refcount mismatch: event recorded {recorded}, replay says {replayed}"
+            ),
+            LintFinding::EvictReferenced {
+                at_ns,
+                block,
+                refcount,
+            } => write!(
+                f,
+                "[{at_ns} ns] eviction of {block} began at refcount {refcount} (must be 0)"
+            ),
+            LintFinding::HbmOverCapacity {
+                at_ns,
+                occupancy,
+                capacity,
+            } => write!(
+                f,
+                "[{at_ns} ns] HBM occupancy {occupancy} B exceeds capacity {capacity} B"
+            ),
+            LintFinding::TaskNeverCompleted { token } => {
+                write!(f, "task {token} was admitted but never completed")
+            }
+            LintFinding::CompleteWithoutAdmit { at_ns, token } => {
+                write!(f, "[{at_ns} ns] completion of task {token} which was not admitted (or completed twice)")
+            }
+            LintFinding::DuplicateAdmit { at_ns, token } => {
+                write!(f, "[{at_ns} ns] task {token} admitted twice")
+            }
+        }
+    }
+}
+
+/// Outcome of linting one trace.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Invariant breaches, in replay order.
+    pub findings: Vec<LintFinding>,
+    /// Events replayed.
+    pub events: usize,
+    /// Distinct blocks seen.
+    pub blocks: usize,
+    /// Tasks admitted.
+    pub tasks: usize,
+    /// Peak resident HBM bytes.
+    pub peak_hbm: usize,
+}
+
+impl LintReport {
+    /// Whether the trace upheld every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} events, {} blocks, {} tasks, peak HBM {} B: {}\n",
+            self.events,
+            self.blocks,
+            self.tasks,
+            self.peak_hbm,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} finding(s)", self.findings.len())
+            }
+        );
+        for finding in &self.findings {
+            out.push_str("  - ");
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct BlockReplay {
+    bytes: usize,
+    node: usize,
+    refcount: usize,
+}
+
+/// Replay `trace` and report every invariant breach.
+pub fn lint(trace: &Trace) -> LintReport {
+    let meta = &trace.meta;
+    let mut report = LintReport {
+        events: trace.events.len(),
+        ..LintReport::default()
+    };
+    let mut blocks: HashMap<BlockId, BlockReplay> = HashMap::new();
+    let mut hbm_bytes: usize = 0;
+    let mut admitted: HashSet<u64> = HashSet::new();
+    let mut completed: HashSet<u64> = HashSet::new();
+
+    for ev in &trace.events {
+        let at_ns = ev.at_ns;
+        match &ev.event {
+            ScheduleEvent::Register { block, bytes, node } => {
+                if *node == meta.hbm {
+                    hbm_bytes += bytes;
+                    if hbm_bytes > meta.hbm_capacity {
+                        report.findings.push(LintFinding::HbmOverCapacity {
+                            at_ns,
+                            occupancy: hbm_bytes,
+                            capacity: meta.hbm_capacity,
+                        });
+                    }
+                    report.peak_hbm = report.peak_hbm.max(hbm_bytes);
+                }
+                blocks.insert(
+                    *block,
+                    BlockReplay {
+                        bytes: *bytes,
+                        node: *node,
+                        refcount: 0,
+                    },
+                );
+            }
+            ScheduleEvent::AddRef { block, refcount } => {
+                let Some(b) = blocks.get_mut(block) else {
+                    report.findings.push(LintFinding::UnknownBlock {
+                        at_ns,
+                        block: *block,
+                    });
+                    continue;
+                };
+                b.refcount += 1;
+                if b.refcount != *refcount {
+                    report.findings.push(LintFinding::RefcountMismatch {
+                        at_ns,
+                        block: *block,
+                        recorded: *refcount,
+                        replayed: b.refcount,
+                    });
+                }
+            }
+            ScheduleEvent::ReleaseRef { block, refcount } => {
+                let Some(b) = blocks.get_mut(block) else {
+                    report.findings.push(LintFinding::UnknownBlock {
+                        at_ns,
+                        block: *block,
+                    });
+                    continue;
+                };
+                if b.refcount == 0 {
+                    report.findings.push(LintFinding::NegativeRefcount {
+                        at_ns,
+                        block: *block,
+                    });
+                } else {
+                    b.refcount -= 1;
+                    if b.refcount != *refcount {
+                        report.findings.push(LintFinding::RefcountMismatch {
+                            at_ns,
+                            block: *block,
+                            recorded: *refcount,
+                            replayed: b.refcount,
+                        });
+                    }
+                }
+            }
+            ScheduleEvent::MoveBegin {
+                block,
+                to,
+                refcount,
+            } => {
+                let Some(b) = blocks.get(block) else {
+                    report.findings.push(LintFinding::UnknownBlock {
+                        at_ns,
+                        block: *block,
+                    });
+                    continue;
+                };
+                if *to == meta.hbm && b.node == meta.hbm {
+                    report.findings.push(LintFinding::FetchOfResident {
+                        at_ns,
+                        block: *block,
+                    });
+                }
+                if *to == meta.ddr && *refcount != 0 {
+                    report.findings.push(LintFinding::EvictReferenced {
+                        at_ns,
+                        block: *block,
+                        refcount: *refcount,
+                    });
+                }
+            }
+            ScheduleEvent::MoveComplete { block, node } => {
+                let Some(b) = blocks.get_mut(block) else {
+                    report.findings.push(LintFinding::UnknownBlock {
+                        at_ns,
+                        block: *block,
+                    });
+                    continue;
+                };
+                let was = b.node;
+                b.node = *node;
+                // Occupancy follows residency: HBM bytes appear when a
+                // block lands in HBM and disappear when it lands back in
+                // DDR4. The registry frees the HBM-side buffer of an
+                // eviction only after its completion callback, so this
+                // accounting never under-reports a capacity breach.
+                let bytes = b.bytes;
+                if was != meta.hbm && *node == meta.hbm {
+                    hbm_bytes += bytes;
+                    if hbm_bytes > meta.hbm_capacity {
+                        report.findings.push(LintFinding::HbmOverCapacity {
+                            at_ns,
+                            occupancy: hbm_bytes,
+                            capacity: meta.hbm_capacity,
+                        });
+                    }
+                    report.peak_hbm = report.peak_hbm.max(hbm_bytes);
+                } else if was == meta.hbm && *node != meta.hbm {
+                    hbm_bytes = hbm_bytes.saturating_sub(bytes);
+                }
+            }
+            ScheduleEvent::MoveAbort { block, node } => {
+                let Some(b) = blocks.get_mut(block) else {
+                    report.findings.push(LintFinding::UnknownBlock {
+                        at_ns,
+                        block: *block,
+                    });
+                    continue;
+                };
+                b.node = *node;
+            }
+            ScheduleEvent::Admit {
+                token,
+                blocks: deps,
+                degraded: _,
+            } => {
+                if !admitted.insert(*token) {
+                    report.findings.push(LintFinding::DuplicateAdmit {
+                        at_ns,
+                        token: *token,
+                    });
+                }
+                for dep in deps {
+                    if !blocks.contains_key(dep) {
+                        report
+                            .findings
+                            .push(LintFinding::UnknownBlock { at_ns, block: *dep });
+                    }
+                }
+                report.tasks += 1;
+            }
+            ScheduleEvent::Complete { token } => {
+                if !admitted.contains(token) || !completed.insert(*token) {
+                    report.findings.push(LintFinding::CompleteWithoutAdmit {
+                        at_ns,
+                        token: *token,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut dangling: Vec<u64> = admitted.difference(&completed).copied().collect();
+    dangling.sort_unstable();
+    for token in dangling {
+        report
+            .findings
+            .push(LintFinding::TaskNeverCompleted { token });
+    }
+    report.blocks = blocks.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{TimedEvent, TraceMeta};
+
+    fn ev(at_ns: u64, event: ScheduleEvent) -> TimedEvent {
+        TimedEvent { at_ns, event }
+    }
+
+    fn meta(cap: usize) -> TraceMeta {
+        TraceMeta {
+            hbm_capacity: cap,
+            hbm: 1,
+            ddr: 0,
+        }
+    }
+
+    /// Register on DDR, pin, fetch, admit, complete, unpin, evict.
+    fn clean_trace() -> Trace {
+        let b = BlockId(0);
+        Trace {
+            meta: meta(4096),
+            events: vec![
+                ev(
+                    0,
+                    ScheduleEvent::Register {
+                        block: b,
+                        bytes: 1024,
+                        node: 0,
+                    },
+                ),
+                ev(
+                    1,
+                    ScheduleEvent::AddRef {
+                        block: b,
+                        refcount: 1,
+                    },
+                ),
+                ev(
+                    2,
+                    ScheduleEvent::MoveBegin {
+                        block: b,
+                        to: 1,
+                        refcount: 1,
+                    },
+                ),
+                ev(3, ScheduleEvent::MoveComplete { block: b, node: 1 }),
+                ev(
+                    4,
+                    ScheduleEvent::Admit {
+                        token: 1,
+                        blocks: vec![b],
+                        degraded: false,
+                    },
+                ),
+                ev(5, ScheduleEvent::Complete { token: 1 }),
+                ev(
+                    6,
+                    ScheduleEvent::ReleaseRef {
+                        block: b,
+                        refcount: 0,
+                    },
+                ),
+                ev(
+                    7,
+                    ScheduleEvent::MoveBegin {
+                        block: b,
+                        to: 0,
+                        refcount: 0,
+                    },
+                ),
+                ev(8, ScheduleEvent::MoveComplete { block: b, node: 0 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_trace_is_clean() {
+        let report = lint(&clean_trace());
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.tasks, 1);
+        assert_eq!(report.blocks, 1);
+        assert_eq!(report.peak_hbm, 1024);
+    }
+
+    #[test]
+    fn extra_release_is_negative_refcount() {
+        let mut trace = clean_trace();
+        trace.events.push(ev(
+            9,
+            ScheduleEvent::ReleaseRef {
+                block: BlockId(0),
+                refcount: 0,
+            },
+        ));
+        let report = lint(&trace);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::NegativeRefcount { .. })));
+    }
+
+    #[test]
+    fn shrunken_capacity_is_over_capacity() {
+        let mut trace = clean_trace();
+        trace.meta.hbm_capacity = 512; // block is 1024 B
+        let report = lint(&trace);
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            LintFinding::HbmOverCapacity {
+                occupancy: 1024,
+                capacity: 512,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn refetch_of_resident_block_is_flagged() {
+        let mut trace = clean_trace();
+        // Insert a second fetch while the block is already in HBM.
+        trace.events.insert(
+            4,
+            ev(
+                3,
+                ScheduleEvent::MoveBegin {
+                    block: BlockId(0),
+                    to: 1,
+                    refcount: 1,
+                },
+            ),
+        );
+        let report = lint(&trace);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::FetchOfResident { .. })));
+    }
+
+    #[test]
+    fn evict_of_referenced_block_is_flagged() {
+        let b = BlockId(0);
+        let trace = Trace {
+            meta: meta(4096),
+            events: vec![
+                ev(
+                    0,
+                    ScheduleEvent::Register {
+                        block: b,
+                        bytes: 64,
+                        node: 1,
+                    },
+                ),
+                ev(
+                    1,
+                    ScheduleEvent::AddRef {
+                        block: b,
+                        refcount: 1,
+                    },
+                ),
+                ev(
+                    2,
+                    ScheduleEvent::MoveBegin {
+                        block: b,
+                        to: 0,
+                        refcount: 1,
+                    },
+                ),
+            ],
+        };
+        let report = lint(&trace);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::EvictReferenced { refcount: 1, .. })));
+    }
+
+    #[test]
+    fn dangling_and_unmatched_tasks_are_flagged() {
+        let trace = Trace {
+            meta: meta(4096),
+            events: vec![
+                ev(
+                    0,
+                    ScheduleEvent::Admit {
+                        token: 1,
+                        blocks: vec![],
+                        degraded: true,
+                    },
+                ),
+                ev(
+                    1,
+                    ScheduleEvent::Admit {
+                        token: 1,
+                        blocks: vec![],
+                        degraded: false,
+                    },
+                ),
+                ev(2, ScheduleEvent::Complete { token: 9 }),
+            ],
+        };
+        let report = lint(&trace);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::DuplicateAdmit { token: 1, .. })));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::CompleteWithoutAdmit { token: 9, .. })));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::TaskNeverCompleted { token: 1 })));
+    }
+
+    #[test]
+    fn unknown_block_is_flagged() {
+        let trace = Trace {
+            meta: meta(4096),
+            events: vec![ev(
+                0,
+                ScheduleEvent::AddRef {
+                    block: BlockId(42),
+                    refcount: 1,
+                },
+            )],
+        };
+        let report = lint(&trace);
+        assert_eq!(
+            report.findings,
+            vec![LintFinding::UnknownBlock {
+                at_ns: 0,
+                block: BlockId(42)
+            }]
+        );
+    }
+
+    #[test]
+    fn mismatched_recorded_refcount_is_flagged() {
+        let b = BlockId(0);
+        let trace = Trace {
+            meta: meta(4096),
+            events: vec![
+                ev(
+                    0,
+                    ScheduleEvent::Register {
+                        block: b,
+                        bytes: 64,
+                        node: 0,
+                    },
+                ),
+                ev(
+                    1,
+                    ScheduleEvent::AddRef {
+                        block: b,
+                        refcount: 3,
+                    },
+                ),
+            ],
+        };
+        let report = lint(&trace);
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            LintFinding::RefcountMismatch {
+                recorded: 3,
+                replayed: 1,
+                ..
+            }
+        )));
+    }
+}

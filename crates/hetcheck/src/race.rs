@@ -1,0 +1,355 @@
+//! Block-level race detector: a TSan-lite over block guards and moves.
+//!
+//! Every participant — PE worker threads, IO threads, the chaos
+//! harness's fault threads — is a *lane* identified by name. Each lane
+//! carries a vector clock; each block carries the epochs of its last
+//! conflicting accesses plus a release clock that encodes the
+//! runtime's real happens-before edges:
+//!
+//! * fetch completion → task execution (the IO lane releases into the
+//!   block at `MoveComplete`; the worker acquires at guard creation),
+//! * guard release → eviction (the worker releases at guard drop; the
+//!   evicting lane acquires at `MoveBegin`).
+//!
+//! Accesses serialized through that protocol are therefore never
+//! flagged. What *is* flagged — the windows the chaos harness probes
+//! under fault injection — is:
+//!
+//! * conflicting guards held concurrently by two lanes,
+//! * a migration starting while guards are still active
+//!   ([`Violation::EvictWhileHeld`]),
+//! * a guard acquired while the block is mid-migration,
+//! * any conflicting access pair left unordered by the clocks.
+
+use crate::violation::Violation;
+use hetmem::{AccessMode, BlockId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A vector clock: epoch per lane slot, absent entries are zero.
+#[derive(Debug, Clone, Default)]
+struct Vc(Vec<u64>);
+
+impl Vc {
+    fn get(&self, slot: usize) -> u64 {
+        self.0.get(slot).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, slot: usize, epoch: u64) {
+        if self.0.len() <= slot {
+            self.0.resize(slot + 1, 0);
+        }
+        self.0[slot] = self.0[slot].max(epoch);
+    }
+
+    fn join(&mut self, other: &Vc) {
+        for (slot, &epoch) in other.0.iter().enumerate() {
+            self.set(slot, epoch);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LaneState {
+    name: String,
+    /// The lane's own clock; `clock.get(own_slot)` is its current epoch.
+    clock: Vc,
+}
+
+#[derive(Debug, Default)]
+struct BlockState {
+    /// Joined clocks of every lane that released a guard or completed a
+    /// move on this block — the happens-before carrier.
+    release_vc: Vc,
+    /// Last exclusive access: (lane slot, epoch, mode).
+    last_write: Option<(usize, u64, AccessMode)>,
+    /// Last reading access per lane slot: epoch.
+    read_epochs: HashMap<usize, u64>,
+    /// Guards currently held: (lane slot, mode).
+    active: Vec<(usize, AccessMode)>,
+    /// Lane currently migrating this block, if any.
+    moving: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    lanes: Vec<LaneState>,
+    lane_ids: HashMap<String, usize>,
+    blocks: HashMap<BlockId, BlockState>,
+}
+
+impl Inner {
+    fn lane_slot(&mut self, name: &str) -> usize {
+        if let Some(&slot) = self.lane_ids.get(name) {
+            return slot;
+        }
+        let slot = self.lanes.len();
+        let mut clock = Vc::default();
+        clock.set(slot, 1); // epochs start at 1 so 0 means "never"
+        self.lanes.push(LaneState {
+            name: name.to_string(),
+            clock,
+        });
+        self.lane_ids.insert(name.to_string(), slot);
+        slot
+    }
+
+    fn lane_name(&self, slot: usize) -> String {
+        self.lanes[slot].name.clone()
+    }
+
+    /// Record a release edge: stamp access epochs, publish the lane's
+    /// clock into the block, advance the lane's epoch.
+    fn release_edge(&mut self, slot: usize, block: BlockId, mode: AccessMode) {
+        let epoch = self.lanes[slot].clock.get(slot);
+        let bs = self.blocks.entry(block).or_default();
+        if mode.is_exclusive() {
+            bs.last_write = Some((slot, epoch, mode));
+            // An exclusive access supersedes prior reads it is ordered
+            // after; keeping stale read epochs is harmless (they are
+            // covered by the release clock) so we leave them.
+        }
+        if mode.reads_old_contents() {
+            bs.read_epochs.insert(slot, epoch);
+        }
+        let clock = self.lanes[slot].clock.clone();
+        bs.release_vc.join(&clock);
+        self.lanes[slot].clock.set(slot, epoch + 1);
+    }
+
+    /// Join the block's release clock into the lane (the acquire half of
+    /// the happens-before edge), then report any access left unordered.
+    fn acquire_checks(
+        &mut self,
+        slot: usize,
+        block: BlockId,
+        mode: AccessMode,
+        out: &mut Vec<Violation>,
+    ) {
+        let release_vc = self
+            .blocks
+            .get(&block)
+            .map(|bs| bs.release_vc.clone())
+            .unwrap_or_default();
+        self.lanes[slot].clock.join(&release_vc);
+        let clock = self.lanes[slot].clock.clone();
+        let bs = self.blocks.entry(block).or_default();
+        if let Some((ws, we, wmode)) = bs.last_write {
+            if ws != slot && we > clock.get(ws) {
+                out.push(Violation::ConcurrentConflict {
+                    block,
+                    first_lane: self.lanes[ws].name.clone(),
+                    first_mode: wmode,
+                    second_lane: self.lanes[slot].name.clone(),
+                    second_mode: mode,
+                });
+            }
+        }
+        if mode.is_exclusive() {
+            let bs = &self.blocks[&block];
+            let stale: Vec<usize> = bs
+                .read_epochs
+                .iter()
+                .filter(|&(&rs, &re)| rs != slot && re > clock.get(rs))
+                .map(|(&rs, _)| rs)
+                .collect();
+            for rs in stale {
+                out.push(Violation::ConcurrentConflict {
+                    block,
+                    first_lane: self.lanes[rs].name.clone(),
+                    first_mode: AccessMode::ReadOnly,
+                    second_lane: self.lanes[slot].name.clone(),
+                    second_mode: mode,
+                });
+            }
+        }
+    }
+}
+
+/// The vector-clock race detector. All methods are safe to call from
+/// any thread; lanes are identified by name.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    inner: Mutex<Inner>,
+}
+
+impl RaceDetector {
+    /// New detector with no lanes or blocks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A lane acquired an access guard on `block`. Returns any races
+    /// detected at this point.
+    pub fn acquire(&self, lane: &str, block: BlockId, mode: AccessMode) -> Vec<Violation> {
+        let mut inner = self.inner.lock();
+        let slot = inner.lane_slot(lane);
+        let mut out = Vec::new();
+
+        // Conflicting guards held at the same time are concurrent by
+        // construction — no clock can order two overlapping intervals.
+        let bs = inner.blocks.entry(block).or_default();
+        let overlaps: Vec<(usize, AccessMode)> = bs
+            .active
+            .iter()
+            .copied()
+            .filter(|&(s, m)| s != slot && (m.is_exclusive() || mode.is_exclusive()))
+            .collect();
+        let mover = bs.moving.filter(|&m| m != slot);
+        for (other, other_mode) in overlaps {
+            out.push(Violation::ConcurrentConflict {
+                block,
+                first_lane: inner.lane_name(other),
+                first_mode: other_mode,
+                second_lane: lane.to_string(),
+                second_mode: mode,
+            });
+        }
+        // Touching a block mid-migration races the copy itself.
+        if let Some(m) = mover {
+            out.push(Violation::ConcurrentConflict {
+                block,
+                first_lane: inner.lane_name(m),
+                first_mode: AccessMode::ReadWrite,
+                second_lane: lane.to_string(),
+                second_mode: mode,
+            });
+        }
+
+        inner.acquire_checks(slot, block, mode, &mut out);
+        inner
+            .blocks
+            .entry(block)
+            .or_default()
+            .active
+            .push((slot, mode));
+        out
+    }
+
+    /// A lane dropped its access guard on `block`.
+    pub fn release(&self, lane: &str, block: BlockId, mode: AccessMode) {
+        let mut inner = self.inner.lock();
+        let slot = inner.lane_slot(lane);
+        let bs = inner.blocks.entry(block).or_default();
+        if let Some(pos) = bs.active.iter().position(|&(s, m)| s == slot && m == mode) {
+            bs.active.swap_remove(pos);
+        }
+        inner.release_edge(slot, block, mode);
+    }
+
+    /// A lane began migrating `block` (fetch or evict). Returns any
+    /// races: active guards mean an evict-while-held window.
+    pub fn move_begin(&self, lane: &str, block: BlockId) -> Vec<Violation> {
+        let mut inner = self.inner.lock();
+        let slot = inner.lane_slot(lane);
+        let mut out = Vec::new();
+        let bs = inner.blocks.entry(block).or_default();
+        let held = bs.active.iter().filter(|&&(s, _)| s != slot).count();
+        if held > 0 {
+            out.push(Violation::EvictWhileHeld {
+                block,
+                lane: lane.to_string(),
+                active_guards: held,
+            });
+        }
+        bs.moving = Some(slot);
+        // The copy reads and invalidates the payload: an exclusive
+        // access for clock purposes.
+        inner.acquire_checks(slot, block, AccessMode::ReadWrite, &mut out);
+        out
+    }
+
+    /// A lane finished (or aborted) migrating `block`; either way the
+    /// copy is over and later accesses are ordered after it.
+    pub fn move_end(&self, lane: &str, block: BlockId) {
+        let mut inner = self.inner.lock();
+        let slot = inner.lane_slot(lane);
+        let bs = inner.blocks.entry(block).or_default();
+        if bs.moving == Some(slot) {
+            bs.moving = None;
+        }
+        inner.release_edge(slot, block, AccessMode::ReadWrite);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violation::ViolationKind;
+
+    const B: BlockId = BlockId(0);
+
+    #[test]
+    fn serialized_accesses_are_clean() {
+        let rd = RaceDetector::new();
+        // io fetches the block, then two workers take turns through the
+        // guard protocol — every access is ordered by release edges.
+        assert!(rd.move_begin("io-0", B).is_empty());
+        rd.move_end("io-0", B);
+        assert!(rd.acquire("pe-0", B, AccessMode::ReadWrite).is_empty());
+        rd.release("pe-0", B, AccessMode::ReadWrite);
+        assert!(rd.acquire("pe-1", B, AccessMode::ReadOnly).is_empty());
+        rd.release("pe-1", B, AccessMode::ReadOnly);
+        assert!(rd.move_begin("io-0", B).is_empty());
+        rd.move_end("io-0", B);
+    }
+
+    #[test]
+    fn concurrent_readers_are_clean() {
+        let rd = RaceDetector::new();
+        assert!(rd.acquire("pe-0", B, AccessMode::ReadOnly).is_empty());
+        assert!(rd.acquire("pe-1", B, AccessMode::ReadOnly).is_empty());
+        rd.release("pe-0", B, AccessMode::ReadOnly);
+        rd.release("pe-1", B, AccessMode::ReadOnly);
+    }
+
+    #[test]
+    fn overlapping_conflicting_guards_race() {
+        let rd = RaceDetector::new();
+        assert!(rd.acquire("pe-0", B, AccessMode::ReadOnly).is_empty());
+        let v = rd.acquire("pe-1", B, AccessMode::ReadWrite);
+        assert!(
+            v.iter()
+                .any(|v| v.kind() == ViolationKind::ConcurrentConflict),
+            "expected a race, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn move_with_active_guard_is_evict_while_held() {
+        let rd = RaceDetector::new();
+        assert!(rd.acquire("pe-0", B, AccessMode::ReadOnly).is_empty());
+        let v = rd.move_begin("io-0", B);
+        assert!(
+            v.iter().any(|v| matches!(
+                v,
+                Violation::EvictWhileHeld {
+                    active_guards: 1,
+                    ..
+                }
+            )),
+            "expected EvictWhileHeld, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn access_during_move_races_the_copy() {
+        let rd = RaceDetector::new();
+        assert!(rd.move_begin("io-0", B).is_empty());
+        let v = rd.acquire("pe-0", B, AccessMode::ReadOnly);
+        assert!(
+            v.iter()
+                .any(|v| v.kind() == ViolationKind::ConcurrentConflict),
+            "expected a race against the in-flight copy, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn per_block_isolation() {
+        let rd = RaceDetector::new();
+        let other = BlockId(1);
+        assert!(rd.acquire("pe-0", B, AccessMode::ReadWrite).is_empty());
+        // A different block is unaffected by the held guard.
+        assert!(rd.acquire("pe-1", other, AccessMode::ReadWrite).is_empty());
+    }
+}

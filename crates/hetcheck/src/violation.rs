@@ -1,0 +1,157 @@
+//! The violation taxonomy shared by the sanitizer and race detector.
+//!
+//! A [`Violation`] is a broken runtime contract caught while the
+//! program runs (as opposed to a [`crate::lint::LintFinding`], which is
+//! found offline in a recorded schedule). Every violation names the
+//! block involved and enough context to reproduce the report in a test
+//! assertion.
+
+use hetmem::{AccessMode, BlockId};
+
+/// What the checker does when a violation is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViolationAction {
+    /// Panic on the offending thread with the rendered violation —
+    /// the test/CI configuration (the `sanitizer` cargo feature).
+    Panic,
+    /// Record the violation and keep running; the count surfaces in
+    /// `OocStats::violations`.
+    #[default]
+    Count,
+}
+
+/// A broken runtime contract caught by a hetcheck pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A task touched a block absent from its declared `Dep` list.
+    UndeclaredAccess {
+        /// Token of the running task.
+        token: u64,
+        /// The block that was accessed.
+        block: BlockId,
+        /// The access mode used.
+        mode: AccessMode,
+    },
+    /// A task acquired exclusive access through a `ReadOnly` dep.
+    ModeEscalation {
+        /// Token of the running task.
+        token: u64,
+        /// The block that was accessed.
+        block: BlockId,
+        /// The mode the dep declared.
+        declared: AccessMode,
+        /// The (stronger) mode actually used.
+        actual: AccessMode,
+    },
+    /// A task read a block it declared `WriteOnly` — the fetch skipped
+    /// the copy, so the read observes uninitialized bytes.
+    UninitializedRead {
+        /// Token of the running task.
+        token: u64,
+        /// The block that was read.
+        block: BlockId,
+        /// The reading mode actually used.
+        actual: AccessMode,
+    },
+    /// Two lanes held conflicting access to a block with no
+    /// happens-before edge between them (vector-clock race).
+    ConcurrentConflict {
+        /// The contested block.
+        block: BlockId,
+        /// Lane holding/last performing the first access.
+        first_lane: String,
+        /// Mode of the first access.
+        first_mode: AccessMode,
+        /// Lane performing the second access.
+        second_lane: String,
+        /// Mode of the second access.
+        second_mode: AccessMode,
+    },
+    /// A migration started while access guards were still held (or the
+    /// block was still referenced) — the evict-while-held /
+    /// migrate-during-access window.
+    EvictWhileHeld {
+        /// The block being moved.
+        block: BlockId,
+        /// Lane that started the move.
+        lane: String,
+        /// Guards still active at move begin.
+        active_guards: usize,
+    },
+}
+
+/// Discriminant of a [`Violation`], for compact assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// See [`Violation::UndeclaredAccess`].
+    UndeclaredAccess,
+    /// See [`Violation::ModeEscalation`].
+    ModeEscalation,
+    /// See [`Violation::UninitializedRead`].
+    UninitializedRead,
+    /// See [`Violation::ConcurrentConflict`].
+    ConcurrentConflict,
+    /// See [`Violation::EvictWhileHeld`].
+    EvictWhileHeld,
+}
+
+impl Violation {
+    /// The violation's kind discriminant.
+    pub fn kind(&self) -> ViolationKind {
+        match self {
+            Violation::UndeclaredAccess { .. } => ViolationKind::UndeclaredAccess,
+            Violation::ModeEscalation { .. } => ViolationKind::ModeEscalation,
+            Violation::UninitializedRead { .. } => ViolationKind::UninitializedRead,
+            Violation::ConcurrentConflict { .. } => ViolationKind::ConcurrentConflict,
+            Violation::EvictWhileHeld { .. } => ViolationKind::EvictWhileHeld,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::UndeclaredAccess { token, block, mode } => write!(
+                f,
+                "task {token} accessed {block} as {mode:?} without declaring it as a dependence"
+            ),
+            Violation::ModeEscalation {
+                token,
+                block,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "task {token} accessed {block} as {actual:?} but declared it {declared:?}"
+            ),
+            Violation::UninitializedRead {
+                token,
+                block,
+                actual,
+            } => write!(
+                f,
+                "task {token} read {block} as {actual:?} but declared it WriteOnly \
+                 (the fetch skipped the copy; the read sees uninitialized bytes)"
+            ),
+            Violation::ConcurrentConflict {
+                block,
+                first_lane,
+                first_mode,
+                second_lane,
+                second_mode,
+            } => write!(
+                f,
+                "unordered conflicting access to {block}: {first_lane} ({first_mode:?}) \
+                 races {second_lane} ({second_mode:?})"
+            ),
+            Violation::EvictWhileHeld {
+                block,
+                lane,
+                active_guards,
+            } => write!(
+                f,
+                "{lane} began migrating {block} while {active_guards} access guard(s) were held"
+            ),
+        }
+    }
+}

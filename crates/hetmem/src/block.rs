@@ -122,10 +122,50 @@ struct BlockSlot {
     cond: Condvar,
 }
 
+/// Passive observer of block lifecycle events, installed on a
+/// [`BlockRegistry`] via [`BlockRegistry::set_observer`].
+///
+/// This is the attachment point for the `hetcheck` analysis passes
+/// (dependence-conformance sanitizer, block-level race detector,
+/// schedule recorder). Every callback has an empty default body so
+/// observers implement only what they need.
+///
+/// Ordering guarantee: refcount and move callbacks are invoked while
+/// the block's slot lock is held, so for any single block the observer
+/// sees `add_ref` / `release_ref` / `move_begin` / `move_complete` /
+/// `move_abort` in their true order. Access callbacks bracket the
+/// guard's lifetime: `on_access` fires after the access is registered,
+/// `on_release` fires *before* the registration is dropped, so no
+/// conflicting access or move can be observed inside the bracket.
+///
+/// Observers must not call back into the registry (the slot lock is
+/// held) and should be cheap: they run on worker and IO threads.
+#[allow(unused_variables)]
+pub trait BlockObserver: Send + Sync {
+    /// A new block entered the registry.
+    fn on_register(&self, block: BlockId, bytes: usize, node: NodeId) {}
+    /// An [`AccessGuard`] was acquired.
+    fn on_access(&self, block: BlockId, mode: AccessMode) {}
+    /// An [`AccessGuard`] is being released.
+    fn on_release(&self, block: BlockId, mode: AccessMode) {}
+    /// The scheduled-task reference count was incremented.
+    fn on_add_ref(&self, block: BlockId, refcount: u32) {}
+    /// The scheduled-task reference count was decremented.
+    fn on_release_ref(&self, block: BlockId, refcount: u32) {}
+    /// A migration began (accessors already drained). `refcount` is the
+    /// value observed under the slot lock at the moment of the decision.
+    fn on_move_begin(&self, block: BlockId, from: NodeId, to: NodeId, refcount: u32) {}
+    /// A migration completed; the block is resident on `node`.
+    fn on_move_complete(&self, block: BlockId, node: NodeId) {}
+    /// A migration aborted; the block is back on `node`.
+    fn on_move_abort(&self, block: BlockId, node: NodeId) {}
+}
+
 /// The shared block metadata store.
 pub struct BlockRegistry {
     slots: RwLock<Vec<Arc<BlockSlot>>>,
     touch_counter: AtomicU64,
+    observer: RwLock<Option<Arc<dyn BlockObserver>>>,
 }
 
 impl Default for BlockRegistry {
@@ -140,14 +180,32 @@ impl BlockRegistry {
         Self {
             slots: RwLock::new(Vec::new()),
             touch_counter: AtomicU64::new(0),
+            observer: RwLock::new(None),
         }
+    }
+
+    /// Install (or replace) the lifecycle observer. See
+    /// [`BlockObserver`] for the callback contract.
+    pub fn set_observer(&self, observer: Arc<dyn BlockObserver>) {
+        *self.observer.write() = Some(observer);
+    }
+
+    /// Remove the lifecycle observer, if any.
+    pub fn clear_observer(&self) {
+        *self.observer.write() = None;
+    }
+
+    fn observer(&self) -> Option<Arc<dyn BlockObserver>> {
+        self.observer.read().clone()
     }
 
     /// Register a freshly allocated buffer as a tracked block.
     pub fn register(&self, buf: AlignedBuf, label: impl Into<String>) -> BlockId {
+        let bytes = buf.len();
+        let node = buf.node();
         let meta = BlockMeta {
-            size: buf.len(),
-            residency: Residency::Resident(buf.node()),
+            size: bytes,
+            residency: Residency::Resident(node),
             buf: Some(buf),
             refcount: 0,
             readers: 0,
@@ -161,11 +219,23 @@ impl BlockRegistry {
         });
         let mut slots = self.slots.write();
         slots.push(slot);
-        BlockId((slots.len() - 1) as u32)
+        let id = BlockId((slots.len() - 1) as u32);
+        drop(slots);
+        if let Some(obs) = self.observer() {
+            obs.on_register(id, bytes, node);
+        }
+        id
     }
 
     fn slot(&self, id: BlockId) -> Arc<BlockSlot> {
         self.slots.read()[id.index()].clone()
+    }
+
+    /// Whether `id` names a registered block. Dependence lists that
+    /// mention unknown ids are caller bugs; this is the cheap probe the
+    /// error paths use before touching a slot.
+    pub fn contains(&self, id: BlockId) -> bool {
+        id.index() < self.slots.read().len()
     }
 
     /// Number of registered blocks.
@@ -212,6 +282,9 @@ impl BlockRegistry {
         let mut m = slot.meta.lock();
         m.refcount += 1;
         let rc = m.refcount;
+        if let Some(obs) = self.observer() {
+            obs.on_add_ref(id, rc);
+        }
         drop(m);
         rc
     }
@@ -223,6 +296,9 @@ impl BlockRegistry {
         assert!(m.refcount > 0, "refcount underflow on {id}");
         m.refcount -= 1;
         let rc = m.refcount;
+        if let Some(obs) = self.observer() {
+            obs.on_release_ref(id, rc);
+        }
         drop(m);
         slot.cond.notify_all();
         rc
@@ -280,6 +356,9 @@ impl BlockRegistry {
         }
         let buf = m.buf.take().expect("resident block must have a buffer");
         m.residency = Residency::Moving { from, to };
+        if let Some(obs) = self.observer() {
+            obs.on_move_begin(id, from, to, m.refcount);
+        }
         Ok((buf, from))
     }
 
@@ -289,8 +368,12 @@ impl BlockRegistry {
         let mut m = slot.meta.lock();
         debug_assert!(matches!(m.residency, Residency::Moving { .. }));
         debug_assert_eq!(new_buf.len(), m.size);
-        m.residency = Residency::Resident(new_buf.node());
+        let node = new_buf.node();
+        m.residency = Residency::Resident(node);
         m.buf = Some(new_buf);
+        if let Some(obs) = self.observer() {
+            obs.on_move_complete(id, node);
+        }
         drop(m);
         slot.cond.notify_all();
     }
@@ -301,8 +384,12 @@ impl BlockRegistry {
         let slot = self.slot(id);
         let mut m = slot.meta.lock();
         debug_assert!(matches!(m.residency, Residency::Moving { .. }));
-        m.residency = Residency::Resident(src_buf.node());
+        let node = src_buf.node();
+        m.residency = Residency::Resident(node);
         m.buf = Some(src_buf);
+        if let Some(obs) = self.observer() {
+            obs.on_move_abort(id, node);
+        }
         drop(m);
         slot.cond.notify_all();
     }
@@ -356,14 +443,22 @@ impl BlockRegistry {
         let len = buf.len();
         let node = buf.node();
         drop(m);
-        AccessGuard {
+        // Build the guard before notifying the observer: if a checker
+        // panics on a violation, the guard's Drop still releases the
+        // registration instead of wedging later accessors.
+        let guard = AccessGuard {
             slot,
             id,
             mode,
             ptr,
             len,
             node,
+            observer: self.observer(),
+        };
+        if let Some(obs) = &guard.observer {
+            obs.on_access(id, mode);
         }
+        guard
     }
 
     /// Blocks currently resident on `node`, least-recently-touched first
@@ -407,6 +502,7 @@ pub struct AccessGuard {
     ptr: NonNull<u8>,
     len: usize,
     node: NodeId,
+    observer: Option<Arc<dyn BlockObserver>>,
 }
 
 // SAFETY: the guard's pointer stays valid while the guard is alive —
@@ -467,6 +563,13 @@ impl AccessGuard {
 
 impl Drop for AccessGuard {
     fn drop(&mut self) {
+        // Notify before the registration is released: once the
+        // registration drops, a waiting mover or conflicting accessor
+        // may proceed, and the observer must have seen this access end
+        // first to keep its event order consistent with reality.
+        if let Some(obs) = &self.observer {
+            obs.on_release(self.id, self.mode);
+        }
         let mut m = self.slot.meta.lock();
         if self.mode.is_exclusive() {
             debug_assert!(m.writer);
@@ -498,28 +601,50 @@ unsafe impl Pod for i64 {}
 unsafe impl Pod for f32 {}
 unsafe impl Pod for f64 {}
 
-fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
-    let size = std::mem::size_of::<T>();
-    assert_eq!(bytes.len() % size, 0, "payload not a whole number of T");
-    assert_eq!(
-        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
-        0,
-        "payload misaligned for T"
+/// Verify a byte payload can be viewed as `[T]` — the element size must
+/// be nonzero and divide the payload exactly (a remainder would be
+/// silently truncated by `from_raw_parts`), and the base pointer must
+/// satisfy `T`'s alignment. Panics with the full context on violation.
+#[track_caller]
+fn check_cast<T: Pod>(ptr: *const u8, len: usize) {
+    let elem = std::mem::size_of::<T>();
+    let ty = std::any::type_name::<T>();
+    assert!(elem > 0, "cannot view block bytes as zero-sized type {ty}");
+    assert!(
+        len.is_multiple_of(elem),
+        "block payload of {len} B is not a whole number of {ty} \
+         ({elem} B each; {} trailing byte(s) would be truncated)",
+        len % elem
     );
-    // SAFETY: size/alignment checked; T is Pod.
-    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / size) }
+    let align = std::mem::align_of::<T>();
+    assert!(
+        (ptr as usize).is_multiple_of(align),
+        "block payload at {ptr:p} is misaligned for {ty} (requires {align}-byte alignment)"
+    );
 }
 
+#[track_caller]
+fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
+    check_cast::<T>(bytes.as_ptr(), bytes.len());
+    // SAFETY: size/alignment checked above; T is Pod.
+    unsafe {
+        std::slice::from_raw_parts(
+            bytes.as_ptr().cast(),
+            bytes.len() / std::mem::size_of::<T>(),
+        )
+    }
+}
+
+#[track_caller]
 fn cast_slice_mut<T: Pod>(bytes: &mut [u8]) -> &mut [T] {
-    let size = std::mem::size_of::<T>();
-    assert_eq!(bytes.len() % size, 0, "payload not a whole number of T");
-    assert_eq!(
-        bytes.as_ptr() as usize % std::mem::align_of::<T>(),
-        0,
-        "payload misaligned for T"
-    );
-    // SAFETY: size/alignment checked; T is Pod.
-    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast(), bytes.len() / size) }
+    check_cast::<T>(bytes.as_ptr(), bytes.len());
+    // SAFETY: size/alignment checked above; T is Pod.
+    unsafe {
+        std::slice::from_raw_parts_mut(
+            bytes.as_mut_ptr().cast(),
+            bytes.len() / std::mem::size_of::<T>(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -695,6 +820,107 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(g); // releases the reader; the move can proceed
         assert_eq!(h.join().unwrap(), DDR4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number of f64")]
+    fn ill_sized_cast_panics_with_context() {
+        // 10 B is not a whole number of f64: the old code would have
+        // truncated to one element; now it aborts loudly.
+        let (reg, id, _a) = registry_with_block(10);
+        let g = reg.access(id, AccessMode::ReadOnly);
+        let _: &[f64] = g.as_slice();
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing byte(s) would be truncated")]
+    fn ill_sized_mut_cast_panics_with_context() {
+        let (reg, id, _a) = registry_with_block(17);
+        let mut g = reg.access(id, AccessMode::ReadWrite);
+        let _: &mut [u32] = g.as_mut_slice();
+    }
+
+    #[test]
+    fn exact_cast_still_succeeds() {
+        let (reg, id, _a) = registry_with_block(24);
+        let g = reg.access(id, AccessMode::ReadOnly);
+        assert_eq!(g.as_slice::<f64>().len(), 3);
+        assert_eq!(g.as_slice::<u8>().len(), 24);
+    }
+
+    #[test]
+    fn contains_reports_registered_ids() {
+        let (reg, id, _a) = registry_with_block(64);
+        assert!(reg.contains(id));
+        assert!(!reg.contains(BlockId(id.0 + 1)));
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Mutex<Vec<String>>,
+    }
+    impl BlockObserver for Recorder {
+        fn on_register(&self, block: BlockId, bytes: usize, node: NodeId) {
+            self.events
+                .lock()
+                .push(format!("reg {block} {bytes} {node:?}"));
+        }
+        fn on_access(&self, block: BlockId, mode: AccessMode) {
+            self.events.lock().push(format!("acq {block} {mode:?}"));
+        }
+        fn on_release(&self, block: BlockId, mode: AccessMode) {
+            self.events.lock().push(format!("rel {block} {mode:?}"));
+        }
+        fn on_add_ref(&self, block: BlockId, rc: u32) {
+            self.events.lock().push(format!("ref+ {block} {rc}"));
+        }
+        fn on_release_ref(&self, block: BlockId, rc: u32) {
+            self.events.lock().push(format!("ref- {block} {rc}"));
+        }
+        fn on_move_begin(&self, block: BlockId, from: NodeId, to: NodeId, rc: u32) {
+            self.events
+                .lock()
+                .push(format!("mv {block} {from:?}->{to:?} rc={rc}"));
+        }
+        fn on_move_complete(&self, block: BlockId, node: NodeId) {
+            self.events.lock().push(format!("mv-done {block} {node:?}"));
+        }
+        fn on_move_abort(&self, block: BlockId, node: NodeId) {
+            self.events
+                .lock()
+                .push(format!("mv-abort {block} {node:?}"));
+        }
+    }
+
+    #[test]
+    fn observer_sees_lifecycle_in_order() {
+        let alloc = NodeAllocator::new(1 << 20);
+        let reg = BlockRegistry::new();
+        let obs = Arc::new(Recorder::default());
+        reg.set_observer(obs.clone());
+        let id = reg.register(alloc.alloc(64, DDR4).unwrap(), "obs");
+        reg.add_ref(id);
+        drop(reg.access(id, AccessMode::ReadWrite));
+        reg.release_ref(id);
+        let (src, _) = reg.begin_move(id, HBM, true).unwrap();
+        reg.abort_move(id, src);
+        let events = obs.events.lock().clone();
+        assert_eq!(
+            events,
+            vec![
+                format!("reg {id} 64 {DDR4:?}"),
+                format!("ref+ {id} 1"),
+                format!("acq {id} ReadWrite"),
+                format!("rel {id} ReadWrite"),
+                format!("ref- {id} 0"),
+                format!("mv {id} {DDR4:?}->{HBM:?} rc=0"),
+                format!("mv-abort {id} {DDR4:?}"),
+            ]
+        );
+        // Clearing the observer silences further events.
+        reg.clear_observer();
+        reg.add_ref(id);
+        assert_eq!(obs.events.lock().len(), 7);
     }
 
     #[test]

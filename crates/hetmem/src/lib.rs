@@ -49,7 +49,9 @@ pub mod topology;
 
 pub use alloc::{AlignedBuf, NodeAllocator};
 pub use bandwidth::{BandwidthRegulator, ChargeOutcome};
-pub use block::{AccessGuard, AccessMode, BlockId, BlockInfo, BlockRegistry, Pod, Residency};
+pub use block::{
+    AccessGuard, AccessMode, BlockId, BlockInfo, BlockObserver, BlockRegistry, Pod, Residency,
+};
 pub use clock::{Clock, MonotonicClock, TimeNs, VirtualClock};
 pub use error::MemError;
 pub use faults::{FaultAction, FaultInjector, FaultStats, NoFaults, SeededFaults};

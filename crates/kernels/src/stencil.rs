@@ -386,7 +386,7 @@ impl Chare for StencilChare {
                     );
                 }
                 // Consume this iteration's halos.
-                for h in self.halos[parity].iter_mut() {
+                for h in &mut self.halos[parity] {
                     *h = None;
                 }
                 self.received[parity] = 0;
@@ -505,7 +505,7 @@ fn run_stencil_inner(cfg: &StencilConfig) -> (StencilReport, Vec<f64>, Vec<Vec<f
     let total_ns = mem.clock().now().saturating_sub(t0);
     assert!(ooc.wait_quiescence_ms(60_000), "runtime not quiescent");
 
-    let block_contents: Vec<Vec<f64>> = blocks.iter().map(|b| b.read(|xs| xs.to_vec())).collect();
+    let block_contents: Vec<Vec<f64>> = blocks.iter().map(|b| b.read(<[f64]>::to_vec)).collect();
     let block_sums: Vec<f64> = block_contents.iter().map(|b| b.iter().sum()).collect();
     let checksum: f64 = block_sums.iter().sum();
     let stats = ooc.stats();

@@ -55,7 +55,7 @@ pub fn render_ascii(trace: &Trace, width: usize) -> String {
                     best = Some((kind, ns));
                 }
             }
-            out.push(best.map(|(k, _)| k.glyph()).unwrap_or(' '));
+            out.push(best.map_or(' ', |(k, _)| k.glyph()));
         }
         out.push_str("|\n");
     }

@@ -105,7 +105,7 @@ fn run(strategy: StrategyKind, placement: Placement) -> u64 {
                 xs.iter()
                     .all(|&x| (x - want).abs() <= f64::EPSILON * want.abs()),
                 "wrong result"
-            )
+            );
         });
     }
     println!(

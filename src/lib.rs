@@ -10,6 +10,9 @@
 //!   arrays, per-PE schedulers, quiescence);
 //! * [`core`](hetrt_core) — the paper's contribution: prefetch/evict
 //!   strategies over the two substrates;
+//! * [`hetcheck`] — dynamic/offline analysis: dependence-conformance
+//!   sanitizer, block-level race detector, schedule linter (see
+//!   `DESIGN.md` §8 and the `schedule_lint` binary);
 //! * [`kernels`] — Stencil3D, blocked matrix multiplication and STREAM;
 //! * [`projections`] — trace collection and timeline rendering;
 //! * [`vtsim`] — a virtual-time discrete-event simulator of the same
@@ -19,6 +22,7 @@
 //! inventory and experiment index.
 
 pub use converse;
+pub use hetcheck;
 pub use hetmem;
 pub use hetrt_core as core;
 pub use kernels;
