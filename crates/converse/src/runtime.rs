@@ -12,7 +12,7 @@ use crate::envelope::{ArrayId, ChareIndex, Dep, EntryId, EntryOptions, Envelope}
 use crate::hook::{ExecutedTask, SchedulerHook};
 use crate::queue::{Pop, RunQueue};
 use hetmem::{Clock, MonotonicClock};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use projections::{LaneId, SpanKind, TraceCollector, Tracer};
 use std::any::Any;
 use std::collections::HashMap;
@@ -129,6 +129,8 @@ impl RuntimeBuilder {
             processed: AtomicU64::new(0),
             threads: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
+            paused: Mutex::new(false),
+            pause_cv: Condvar::new(),
         });
         let mut threads = rt.threads.lock();
         for pe in 0..rt.pes {
@@ -159,6 +161,8 @@ pub struct Runtime {
     processed: AtomicU64,
     threads: Mutex<Vec<JoinHandle<()>>>,
     shutting_down: AtomicBool,
+    paused: Mutex<bool>,
+    pause_cv: Condvar,
 }
 
 impl Runtime {
@@ -284,11 +288,27 @@ impl Runtime {
         self.processed.load(Ordering::Relaxed)
     }
 
+    /// Account for an intercepted message the hook consumed without
+    /// re-injecting (e.g. an admission-guard rejection). A dropped
+    /// message would otherwise hold `processed < sent` forever and wedge
+    /// [`Runtime::wait_quiescence_ms`].
+    pub fn note_dropped(&self) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Poll until the system is quiescent: every sent message executed,
     /// no hook-pending tasks, all queues empty. Returns false on
     /// timeout.
+    ///
+    /// Polling backs off exponentially — 20 µs doubling to a 2 ms cap —
+    /// so a quiescence reached quickly is detected quickly, while a
+    /// long wait (or a timeout on a wedged system) does not spin a
+    /// core at a fixed fine interval.
     pub fn wait_quiescence_ms(&self, timeout_ms: u64) -> bool {
+        const BACKOFF_START: std::time::Duration = std::time::Duration::from_micros(20);
+        const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_millis(2);
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        let mut backoff = BACKOFF_START;
         loop {
             let hook_pending = self.hook.read().as_ref().map_or(0, |h| h.pending());
             let queued: usize = self.queues.iter().map(|q| q.len()).sum();
@@ -303,11 +323,56 @@ impl Runtime {
                 if stable {
                     return true;
                 }
+                // Near-miss: something was mid-flight. Poll finely again.
+                backoff = BACKOFF_START;
             }
-            if std::time::Instant::now() >= deadline {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(std::time::Duration::from_micros(200));
+            // Never sleep past the deadline.
+            std::thread::sleep(backoff.min(deadline - now));
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+        }
+    }
+
+    /// Gate worker processing: after this returns, PE workers finish
+    /// their in-flight envelope and then block before taking the next
+    /// one, and the scheduler hook has been told to idle its background
+    /// machinery ([`SchedulerHook::on_pause`]). Call at quiescence
+    /// (checkpoint protocol: quiesce, pause, snapshot, resume) — the
+    /// gate then guarantees nothing starts executing while the
+    /// snapshot reads block payloads.
+    pub fn pause(&self) {
+        *self.paused.lock() = true;
+        if let Some(h) = self.hook.read().as_ref() {
+            h.on_pause();
+        }
+    }
+
+    /// Lift the [`Runtime::pause`] gate and wake the PE workers.
+    pub fn resume(&self) {
+        {
+            let mut paused = self.paused.lock();
+            *paused = false;
+            self.pause_cv.notify_all();
+        }
+        if let Some(h) = self.hook.read().as_ref() {
+            h.on_resume();
+        }
+    }
+
+    /// Whether the pause gate is currently closed.
+    pub fn is_paused(&self) -> bool {
+        *self.paused.lock()
+    }
+
+    /// Block while the pause gate is closed (worker threads call this
+    /// between envelopes).
+    fn pause_point(&self) {
+        let mut paused = self.paused.lock();
+        while *paused {
+            self.pause_cv.wait(&mut paused);
         }
     }
 
@@ -315,6 +380,12 @@ impl Runtime {
     pub fn shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
+        }
+        // A paused runtime must wake its workers or the join wedges.
+        {
+            let mut paused = self.paused.lock();
+            *paused = false;
+            self.pause_cv.notify_all();
         }
         for q in &self.queues {
             q.shutdown();
@@ -344,6 +415,7 @@ fn worker_loop(rt: Arc<Runtime>, pe: usize, tracer: Arc<Tracer>) {
         match rt.queues[pe].pop() {
             Pop::Shutdown => break,
             Pop::Work(env) => {
+                rt.pause_point();
                 let now = rt.clock.now();
                 if now > idle_start {
                     tracer.record(SpanKind::Idle, idle_start, now, pe as u32);
@@ -598,6 +670,137 @@ mod tests {
         assert!(rt.wait_quiescence_ms(2000));
         assert_eq!(*hook.intercepted.lock(), vec![0, 1]);
         assert_eq!(*hook.completed.lock(), vec![77, 77]);
+        rt.shutdown();
+    }
+
+    /// A hook that never admits: `pending()` is pinned at 1, so the
+    /// runtime can never look quiescent.
+    struct WedgedHook;
+    impl SchedulerHook for WedgedHook {
+        fn on_intercept(&self, _pe: usize, _env: Envelope) {}
+        fn on_complete(&self, _done: ExecutedTask) {}
+        fn pending(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn quiescence_times_out_without_hanging_on_pending_hook() {
+        let rt = runtime(1);
+        rt.set_hook(Arc::new(WedgedHook));
+        let t0 = std::time::Instant::now();
+        assert!(!rt.wait_quiescence_ms(150));
+        let elapsed = t0.elapsed();
+        // Honoured the deadline: no early bail, no unbounded hang, and
+        // the capped exponential backoff never oversleeps it by much.
+        assert!(
+            elapsed >= std::time::Duration::from_millis(150),
+            "{elapsed:?}"
+        );
+        assert!(elapsed < std::time::Duration::from_secs(2), "{elapsed:?}");
+        *rt.hook.write() = None;
+        rt.shutdown();
+    }
+
+    #[test]
+    fn quiescence_times_out_while_work_is_running() {
+        struct Sleeper {
+            latch: Arc<CompletionLatch>,
+        }
+        impl Chare for Sleeper {
+            type Msg = ();
+            fn execute(&mut self, _e: EntryId, _m: (), _c: &mut ExecCtx<'_>) {
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                self.latch.count_down();
+            }
+        }
+        let rt = runtime(1);
+        let latch = Arc::new(CompletionLatch::new(1));
+        let l2 = Arc::clone(&latch);
+        let array = rt
+            .array_builder::<Sleeper>()
+            .entry(EP_PING, EntryOptions::default())
+            .build(1, move |_| Sleeper {
+                latch: Arc::clone(&l2),
+            });
+        rt.send(array, 0, EP_PING, ());
+        // The entry method is still sleeping: the short wait times out.
+        assert!(!rt.wait_quiescence_ms(50));
+        assert!(latch.wait_timeout_ms(5000));
+        assert!(rt.wait_quiescence_ms(2000));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pause_gates_execution_until_resume() {
+        let rt = runtime(2);
+        let latch = Arc::new(CompletionLatch::new(4));
+        let l2 = Arc::clone(&latch);
+        let array = rt
+            .array_builder::<Counter>()
+            .entry(EP_PING, EntryOptions::default())
+            .build(4, move |_| Counter {
+                hits: 0,
+                latch: Arc::clone(&l2),
+                peers: 4,
+                array: None,
+            });
+        assert!(rt.wait_quiescence_ms(1000));
+        rt.pause();
+        assert!(rt.is_paused());
+        for i in 0..4 {
+            rt.send(array, i, EP_PING, 1u64);
+        }
+        // Paused: the messages sit on the run queues (at most one per
+        // PE may be held at the pause point, but none executes).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(rt.processed_count(), 0);
+        rt.resume();
+        assert!(!rt.is_paused());
+        assert!(latch.wait_timeout_ms(5000));
+        assert!(rt.wait_quiescence_ms(2000));
+        assert_eq!(rt.processed_count(), 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pause_and_resume_notify_the_hook() {
+        struct PauseSpy {
+            pauses: AtomicU64,
+            resumes: AtomicU64,
+        }
+        impl SchedulerHook for PauseSpy {
+            fn on_intercept(&self, _pe: usize, _env: Envelope) {}
+            fn on_complete(&self, _done: ExecutedTask) {}
+            fn pending(&self) -> usize {
+                0
+            }
+            fn on_pause(&self) {
+                self.pauses.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_resume(&self) {
+                self.resumes.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let rt = runtime(1);
+        let spy = Arc::new(PauseSpy {
+            pauses: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+        });
+        rt.set_hook(spy.clone());
+        rt.pause();
+        rt.resume();
+        assert_eq!(spy.pauses.load(Ordering::SeqCst), 1);
+        assert_eq!(spy.resumes.load(Ordering::SeqCst), 1);
+        *rt.hook.write() = None;
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_a_paused_runtime() {
+        let rt = runtime(2);
+        rt.pause();
+        // Must not wedge on the paused workers.
         rt.shutdown();
     }
 }

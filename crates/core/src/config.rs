@@ -84,6 +84,26 @@ pub enum WaitQueueTopology {
     SharedSingle,
 }
 
+/// What the admission guard does with a task whose total declared
+/// dependence bytes exceed HBM capacity (minus headroom). Such a task
+/// can never be fully prefetched: without the guard it would wait in
+/// the queue forever (or panic deep in the fetch path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OversizePolicy {
+    /// Run the task immediately in degraded mode: its dependences stay
+    /// in DDR4 and the kernel pays the slow-tier bandwidth. The run
+    /// completes, just slower — the paper's over-decomposition advice
+    /// applies, but a mis-sized chare is not fatal.
+    #[default]
+    Degrade,
+    /// Refuse the task: drop the message, count it in
+    /// [`crate::OocStats::rejected_tasks`] and record a structured
+    /// [`crate::strategy::RejectedTask`] retrievable from the hook.
+    /// The run continues without the task (its completion latch, if
+    /// any, will not fire for it).
+    Reject,
+}
+
 /// Full configuration of the memory-aware layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OocConfig {
@@ -121,6 +141,15 @@ pub struct OocConfig {
     /// How many times a crashed IO thread may be respawned before its
     /// queues fall back to the watchdog's degraded drain.
     pub io_restart_budget: u32,
+    /// What to do with a task whose declared working set can never fit
+    /// in HBM (see [`OversizePolicy`]).
+    pub oversize_policy: OversizePolicy,
+    /// Periodic checkpoint policy for iterative drivers: checkpoint
+    /// every N iterations. 0 disables periodic checkpoints (explicit
+    /// [`crate::OocRuntime::checkpoint`] calls still work). The
+    /// runtime itself has no iteration notion — drivers consult this
+    /// via [`crate::OocRuntime::should_checkpoint`].
+    pub checkpoint_every: u64,
 }
 
 impl Default for OocConfig {
@@ -137,6 +166,8 @@ impl Default for OocConfig {
             backoff_base: 10_000, // 10 µs
             watchdog_stall_ms: 1_000,
             io_restart_budget: 2,
+            oversize_policy: OversizePolicy::Degrade,
+            checkpoint_every: 0,
         }
     }
 }
@@ -170,5 +201,7 @@ mod tests {
         assert!(c.backoff_base > 0);
         assert!(c.watchdog_stall_ms > 0);
         assert!(c.io_restart_budget > 0);
+        assert_eq!(c.oversize_policy, OversizePolicy::Degrade);
+        assert_eq!(c.checkpoint_every, 0, "periodic checkpoints are opt-in");
     }
 }

@@ -153,11 +153,7 @@ impl FetchEngine {
             .iter()
             .map(|d| self.mem.registry().size_of(d.block) as u64)
             .sum();
-        let capacity = self
-            .mem
-            .allocator(self.config.hbm)
-            .capacity()
-            .saturating_sub(self.config.headroom_bytes);
+        let capacity = self.hbm_task_capacity();
         if needed > capacity {
             return Err(FetchError::TaskTooLarge { needed, capacity });
         }
@@ -165,6 +161,16 @@ impl FetchEngine {
             self.ensure_in_hbm(d, tracer, tag)?;
         }
         Ok(())
+    }
+
+    /// The most a single task may declare: HBM capacity minus the
+    /// configured headroom. Anything larger can never be fully
+    /// prefetched ([`FetchError::TaskTooLarge`] / the admission guard).
+    pub fn hbm_task_capacity(&self) -> u64 {
+        self.mem
+            .allocator(self.config.hbm)
+            .capacity()
+            .saturating_sub(self.config.headroom_bytes)
     }
 
     /// Bring one dependence into HBM (§IV-B: "for any dependence that
@@ -237,6 +243,20 @@ impl FetchEngine {
                             debug_assert!(false, "fetch of unknown block {id}");
                             return Err(FetchError::Exhausted {
                                 block: id,
+                                attempts: transient_attempts,
+                            });
+                        }
+                        Err(
+                            e @ (MemError::CheckpointIo { .. }
+                            | MemError::CheckpointCorrupted { .. }
+                            | MemError::CheckpointVersionMismatch { .. }
+                            | MemError::CheckpointFailed { .. }),
+                        ) => {
+                            // Checkpoint errors never come out of a
+                            // migration; treat one as a fatal caller bug.
+                            debug_assert!(false, "migration returned {e}");
+                            return Err(FetchError::Exhausted {
+                                block: dep.block.0 as u64,
                                 attempts: transient_attempts,
                             });
                         }

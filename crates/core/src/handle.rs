@@ -60,6 +60,34 @@ impl<T: Pod> IoHandle<T> {
         })
     }
 
+    /// Wrap an already-registered block — how drivers reattach their
+    /// handles to blocks that a checkpoint restore re-registered. Fails
+    /// with [`MemError::CheckpointFailed`] if the block does not exist
+    /// or its byte size disagrees with `len * size_of::<T>()`.
+    pub fn attach(mem: &Arc<Memory>, block: BlockId, len: usize) -> Result<Self, MemError> {
+        let expected = len * std::mem::size_of::<T>();
+        if block.index() >= mem.registry().len() {
+            return Err(MemError::CheckpointFailed {
+                detail: format!("cannot attach handle: block {block:?} is not registered"),
+            });
+        }
+        let actual = mem.registry().size_of(block);
+        if actual != expected {
+            return Err(MemError::CheckpointFailed {
+                detail: format!(
+                    "cannot attach handle to block {block:?}: registered size is \
+                     {actual} B but the handle expects {expected} B"
+                ),
+            });
+        }
+        Ok(Self {
+            mem: Arc::clone(mem),
+            block,
+            len,
+            _marker: PhantomData,
+        })
+    }
+
     /// The underlying tracked block.
     pub fn block(&self) -> BlockId {
         self.block

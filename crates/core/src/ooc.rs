@@ -10,9 +10,24 @@ use crate::stats::OocStats;
 use crate::strategy::OocHook;
 use converse::{Runtime, RuntimeBuilder};
 use hetcheck::Checker;
-use hetmem::Memory;
-use projections::Trace;
+use hetmem::{CheckpointSummary, MemError, Memory};
+use projections::{LaneId, SpanKind, Trace};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How long [`OocRuntime::checkpoint`] waits for quiescence before
+/// giving up with [`MemError::CheckpointFailed`].
+const CHECKPOINT_QUIESCE_MS: u64 = 10_000;
+
+/// Runtime-level state carried in the checkpoint's application
+/// metadata slot, alongside the block image hetmem owns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct AppState {
+    iteration: u64,
+    stats: OocStats,
+}
 
 /// A converse runtime + memory subsystem + scheduling strategy.
 pub struct OocRuntime {
@@ -22,6 +37,9 @@ pub struct OocRuntime {
     checker: Option<Arc<Checker>>,
     strategy: StrategyKind,
     config: OocConfig,
+    /// Driver-maintained iteration counter, persisted in checkpoints so
+    /// a restored run knows where to resume.
+    iteration: AtomicU64,
 }
 
 /// Pick the checker for a runtime that was not handed one explicitly:
@@ -115,6 +133,7 @@ impl OocRuntime {
             checker,
             strategy,
             config,
+            iteration: AtomicU64::new(0),
         })
     }
 
@@ -174,6 +193,122 @@ impl OocRuntime {
     /// Wait for quiescence (all messages executed, nothing pending).
     pub fn wait_quiescence_ms(&self, timeout_ms: u64) -> bool {
         self.rt.wait_quiescence_ms(timeout_ms)
+    }
+
+    /// Tasks refused by the admission guard under
+    /// [`crate::OversizePolicy::Reject`] (empty otherwise).
+    pub fn rejected_tasks(&self) -> Vec<crate::strategy::RejectedTask> {
+        self.hook
+            .as_ref()
+            .map(|h| h.rejected_tasks())
+            .unwrap_or_default()
+    }
+
+    /// The driver's iteration counter (persisted across
+    /// checkpoint/restore).
+    pub fn iteration(&self) -> u64 {
+        self.iteration.load(Ordering::SeqCst)
+    }
+
+    /// Record the driver's progress: call after finishing iteration
+    /// `it` so a checkpoint taken now resumes from `it`.
+    pub fn set_iteration(&self, it: u64) {
+        self.iteration.store(it, Ordering::SeqCst);
+    }
+
+    /// True when the periodic-checkpoint policy
+    /// ([`OocConfig::checkpoint_every`]) says iteration `it` should end
+    /// with a checkpoint. Always false when the policy is disabled.
+    pub fn should_checkpoint(&self, it: u64) -> bool {
+        let every = self.config.checkpoint_every;
+        every != 0 && it != 0 && it.is_multiple_of(every)
+    }
+
+    /// Quiescence-coordinated checkpoint (the tentpole of the recovery
+    /// story). Drives the runtime to quiescence, pauses the scheduler
+    /// and IO threads, snapshots every registered block plus the
+    /// runtime's counters into `path` (atomically: temp file + rename),
+    /// then resumes. On success the runtime continues exactly where it
+    /// left off; on failure it also resumes, and the error says why —
+    /// this method never leaves the runtime paused or panics.
+    pub fn checkpoint(&self, path: &Path) -> Result<CheckpointSummary, MemError> {
+        if !self.rt.wait_quiescence_ms(CHECKPOINT_QUIESCE_MS) {
+            return Err(MemError::CheckpointFailed {
+                detail: format!(
+                    "runtime did not reach quiescence within {CHECKPOINT_QUIESCE_MS} ms; \
+                     refusing to snapshot in-flight state"
+                ),
+            });
+        }
+        let t0 = self.rt.clock().now();
+        self.rt.pause();
+        let result = self.checkpoint_paused(path);
+        self.rt.resume();
+        let t1 = self.rt.clock().now();
+        if result.is_ok() {
+            self.rt
+                .collector()
+                .tracer(LaneId::worker(0))
+                .record(SpanKind::Checkpoint, t0, t1, 0);
+        }
+        result
+    }
+
+    /// The pause-protected body of [`OocRuntime::checkpoint`]; split
+    /// out so every early return still resumes the runtime.
+    fn checkpoint_paused(&self, path: &Path) -> Result<CheckpointSummary, MemError> {
+        let app = AppState {
+            iteration: self.iteration(),
+            stats: self.stats(),
+        };
+        let app_json = serde_json::to_string(&app).map_err(|e| MemError::CheckpointFailed {
+            detail: format!("could not encode runtime state: {e}"),
+        })?;
+        let summary = hetmem::write_checkpoint(&self.mem, path, &app_json)?;
+        if let Some(hook) = &self.hook {
+            hook.note_checkpoint(summary.payload_bytes);
+        }
+        Ok(summary)
+    }
+
+    /// Rebuild state from a checkpoint written by
+    /// [`OocRuntime::checkpoint`]. Must run on a freshly built runtime
+    /// whose block registry is still empty: blocks are re-registered
+    /// under their saved ids with their saved bytes and refcounts,
+    /// residency is replayed (HBM blocks that no longer fit spill to
+    /// DDR4), the statistics counters and iteration counter are
+    /// adopted, and the attached checker (if any) records a restart
+    /// boundary so cross-restart traces lint clean.
+    ///
+    /// Returns the iteration the checkpoint was taken at — the driver
+    /// resumes from the next one. Corrupt or version-mismatched files
+    /// come back as structured [`MemError`]s and leave the runtime
+    /// usable (still empty, ready for a fresh run or another restore).
+    pub fn restore(&self, path: &Path) -> Result<u64, MemError> {
+        let image = hetmem::read_checkpoint(path)?;
+        let app: AppState = if image.app.is_empty() {
+            AppState::default()
+        } else {
+            serde_json::from_str(&image.app).map_err(|e| MemError::CheckpointCorrupted {
+                detail: format!("runtime state metadata does not parse: {e}"),
+            })?
+        };
+        let t0 = self.rt.clock().now();
+        if let Some(checker) = &self.checker {
+            checker.record_restart();
+        }
+        hetmem::restore_into(&self.mem, &image, self.config.ddr)?;
+        if let Some(hook) = &self.hook {
+            hook.adopt_stats(&app.stats);
+            hook.note_restore();
+        }
+        self.iteration.store(app.iteration, Ordering::SeqCst);
+        let t1 = self.rt.clock().now();
+        self.rt
+            .collector()
+            .tracer(LaneId::worker(0))
+            .record(SpanKind::Restore, t0, t1, 0);
+        Ok(app.iteration)
     }
 
     /// Collect the run's trace (drains recorded spans).

@@ -1,5 +1,6 @@
 //! Runtime statistics for the memory-aware layer.
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Internal atomic counters shared between strategies and the engine.
@@ -18,6 +19,10 @@ pub struct StatCells {
     degraded_tasks: AtomicU64,
     io_restarts: AtomicU64,
     io_panics: AtomicU64,
+    rejected_tasks: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    restores: AtomicU64,
 }
 
 impl StatCells {
@@ -67,6 +72,48 @@ impl StatCells {
         self.io_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn bump_rejected(&self) {
+        self.rejected_tasks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_checkpoint(&self, bytes: u64) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_restore(&self) {
+        self.restores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Overwrite every counter with the values in `s` — used once,
+    /// right after a restore, so cumulative statistics survive a
+    /// kill-and-restore instead of restarting from zero. The restore
+    /// itself is *not* included in `s`; bump it afterwards.
+    pub(crate) fn adopt(&self, s: &OocStats) {
+        self.fetches.store(s.fetches, Ordering::Relaxed);
+        self.fetch_bytes.store(s.fetch_bytes, Ordering::Relaxed);
+        self.evictions.store(s.evictions, Ordering::Relaxed);
+        self.evict_bytes.store(s.evict_bytes, Ordering::Relaxed);
+        self.no_space_events
+            .store(s.no_space_events, Ordering::Relaxed);
+        self.intercepted.store(s.intercepted, Ordering::Relaxed);
+        self.admitted.store(s.admitted, Ordering::Relaxed);
+        self.completed.store(s.completed, Ordering::Relaxed);
+        self.queue_wait_ns.store(s.queue_wait_ns, Ordering::Relaxed);
+        self.transient_retries
+            .store(s.transient_retries, Ordering::Relaxed);
+        self.degraded_tasks
+            .store(s.degraded_tasks, Ordering::Relaxed);
+        self.io_restarts.store(s.io_restarts, Ordering::Relaxed);
+        self.io_panics.store(s.io_panics, Ordering::Relaxed);
+        self.rejected_tasks
+            .store(s.rejected_tasks, Ordering::Relaxed);
+        self.checkpoints.store(s.checkpoints, Ordering::Relaxed);
+        self.checkpoint_bytes
+            .store(s.checkpoint_bytes, Ordering::Relaxed);
+        self.restores.store(s.restores, Ordering::Relaxed);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> OocStats {
         OocStats {
@@ -83,13 +130,20 @@ impl StatCells {
             degraded_tasks: self.degraded_tasks.load(Ordering::Relaxed),
             io_restarts: self.io_restarts.load(Ordering::Relaxed),
             io_panics: self.io_panics.load(Ordering::Relaxed),
+            rejected_tasks: self.rejected_tasks.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
             violations: 0,
         }
     }
 }
 
 /// Point-in-time statistics of the memory-aware runtime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Serializable: the checkpoint subsystem embeds a snapshot in every
+/// image so cumulative counters survive a kill-and-restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OocStats {
     /// Blocks moved DDR4 → HBM.
     pub fetches: u64,
@@ -120,15 +174,29 @@ pub struct OocStats {
     pub io_restarts: u64,
     /// IO-thread panics caught by the supervisor.
     pub io_panics: u64,
+    /// Tasks rejected at interception because their declared working
+    /// set can never fit in HBM (admission guard under
+    /// [`crate::config::OversizePolicy::Reject`]).
+    pub rejected_tasks: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Total block payload bytes across all checkpoints written.
+    pub checkpoint_bytes: u64,
+    /// Restores performed from a checkpoint image.
+    pub restores: u64,
     /// hetcheck violations recorded by an attached checker running in
     /// counting mode (0 when no checker is attached).
     pub violations: u64,
 }
 
 impl OocStats {
-    /// Tasks intercepted but not yet completed.
+    /// Tasks intercepted but not yet completed. Rejected tasks were
+    /// intercepted but will never run — they are not outstanding work,
+    /// and quiescence must not wait on them.
     pub fn in_flight(&self) -> u64 {
-        self.intercepted.saturating_sub(self.completed)
+        self.intercepted
+            .saturating_sub(self.completed)
+            .saturating_sub(self.rejected_tasks)
     }
 
     /// Mean wait-queue delay per admitted task, in milliseconds.
@@ -158,6 +226,15 @@ impl OocStats {
             line.push_str(&format!(
                 "  retries {}  degraded {}  io-restarts {}/{}",
                 self.transient_retries, self.degraded_tasks, self.io_restarts, self.io_panics
+            ));
+        }
+        if self.rejected_tasks > 0 {
+            line.push_str(&format!("  rejected {}", self.rejected_tasks));
+        }
+        if self.checkpoints + self.restores > 0 {
+            line.push_str(&format!(
+                "  ckpt {}x {} B  restores {}",
+                self.checkpoints, self.checkpoint_bytes, self.restores
             ));
         }
         if self.violations > 0 {
@@ -216,6 +293,51 @@ mod tests {
         assert!(s
             .render()
             .contains("retries 1  degraded 1  io-restarts 1/1"));
+    }
+
+    #[test]
+    fn rejected_tasks_are_not_in_flight() {
+        let c = StatCells::default();
+        c.bump_intercepted();
+        c.bump_intercepted();
+        c.bump_rejected();
+        c.bump_completed();
+        let s = c.snapshot();
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.render().contains("rejected 1"));
+    }
+
+    #[test]
+    fn adopt_restores_counters_and_checkpoint_stats_render() {
+        let c = StatCells::default();
+        c.bump_fetches(64);
+        c.bump_intercepted();
+        c.bump_admitted();
+        c.bump_completed();
+        c.bump_checkpoint(4096);
+        let saved = c.snapshot();
+
+        let fresh = StatCells::default();
+        fresh.adopt(&saved);
+        fresh.bump_restore();
+        let s = fresh.snapshot();
+        assert_eq!(s.fetches, saved.fetches);
+        assert_eq!(s.completed, saved.completed);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.checkpoint_bytes, 4096);
+        assert_eq!(s.restores, 1);
+        assert!(s.render().contains("ckpt 1x 4096 B  restores 1"));
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let c = StatCells::default();
+        c.bump_fetches(128);
+        c.bump_checkpoint(256);
+        let s = c.snapshot();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: OocStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

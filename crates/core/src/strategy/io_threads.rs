@@ -256,6 +256,12 @@ fn supervise(
         if config.watchdog_stall_ms == 0 {
             continue;
         }
+        // A checkpoint pause intentionally halts admissions; don't read
+        // that as a stall and drain the queues in degraded mode.
+        if shared.paused.load(Ordering::SeqCst) {
+            last_progress = Instant::now();
+            continue;
+        }
         let snap = shared.stats.snapshot();
         let queued: usize = shared.waitq.lengths().iter().sum();
         let counts = (snap.admitted, snap.completed);
@@ -314,6 +320,13 @@ fn io_loop(shared: Arc<Shared>, heartbeats: &[AtomicU64], group: usize, groups: 
             return;
         }
         heartbeats[group].fetch_add(1, Ordering::Relaxed);
+        // Checkpoint pause: a paused runtime is quiescent, and the
+        // snapshot must not race with block migrations, so IO threads
+        // idle (still heartbeating) until resume.
+        if shared.paused.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            continue;
+        }
         if shared.memory().faults().take_io_panic(group) {
             panic!("injected IO-thread fault (io{group})");
         }

@@ -24,16 +24,36 @@ mod sync_fetch;
 pub use cache_mode::{CacheState, CacheStats};
 pub use io_threads::IoThreadPool;
 
-use crate::config::{OocConfig, StrategyKind};
+use crate::config::{OocConfig, OversizePolicy, StrategyKind};
 use crate::engine::{FetchEngine, FetchError};
 use crate::stats::StatCells;
 use crate::task::{OocTask, TaskRegistry};
 use crate::waitqueue::WaitQueues;
-use converse::{Envelope, ExecutedTask, Runtime, SchedulerHook};
+use converse::{EntryId, Envelope, ExecutedTask, Runtime, SchedulerHook};
 use hetcheck::Checker;
 use hetmem::Memory;
 use projections::{LaneId, SpanKind, TraceCollector, Tracer};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// A task refused by the admission guard under
+/// [`OversizePolicy::Reject`]: its declared dependence bytes exceed
+/// what HBM can ever hold, so it would otherwise wait in the queue
+/// forever. The structured record is the error surface — retrievable
+/// via `OocRuntime::rejected_tasks`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedTask {
+    /// PE the message was intercepted on.
+    pub pe: usize,
+    /// Index of the target chare.
+    pub chare: usize,
+    /// Entry method the message targeted.
+    pub entry: EntryId,
+    /// Total declared dependence bytes.
+    pub needed: u64,
+    /// HBM capacity minus headroom — the most a task may declare.
+    pub capacity: u64,
+}
 
 /// State shared by every strategy flavour.
 pub(crate) struct Shared {
@@ -55,6 +75,13 @@ pub(crate) struct Shared {
     /// completion's rescan can miss a task parked a moment later and
     /// strand it forever. Fetches themselves run outside this lock.
     pub admission: parking_lot::Mutex<()>,
+    /// Structured records of tasks refused by the admission guard
+    /// (see [`RejectedTask`]).
+    pub rejected: parking_lot::Mutex<Vec<RejectedTask>>,
+    /// Checkpoint pause gate: while set, IO threads idle instead of
+    /// scanning their wait queues, so no migration starts while block
+    /// payloads are being snapshotted.
+    pub paused: AtomicBool,
 }
 
 impl Shared {
@@ -101,14 +128,46 @@ impl Shared {
                 self.degrade(task, tracer, t0);
                 Ok(())
             }
-            Err(e @ FetchError::TaskTooLarge { .. }) => {
-                panic!(
-                    "task for chare {} can never be scheduled: {e} — \
-                     reduce the over-decomposed working-set size",
-                    task.env.index
-                );
+            Err(FetchError::TaskTooLarge { .. }) => {
+                // Normally unreachable: the admission guard in
+                // `on_intercept` catches oversize tasks before they
+                // enter a queue. Kept as defence in depth — a task
+                // that slips through runs degraded from DDR4 instead
+                // of panicking or waiting forever.
+                self.degrade(task, tracer, t0);
+                Ok(())
             }
         }
+    }
+
+    /// Total declared dependence bytes of a task — the admission
+    /// guard's measure, matching `FetchEngine::fetch_all`'s own
+    /// `TaskTooLarge` arithmetic.
+    pub(crate) fn dep_bytes(&self, task: &OocTask) -> u64 {
+        let registry = self.memory().registry();
+        task.deps
+            .iter()
+            .map(|d| registry.size_of(d.block) as u64)
+            .sum()
+    }
+
+    /// Refuse an oversize task under [`OversizePolicy::Reject`]: drop
+    /// its message, count it, and keep a structured record. No
+    /// references were taken, so nothing needs releasing; the rejected
+    /// counter keeps `pending()` balanced so quiescence does not wait
+    /// on the task.
+    pub(crate) fn reject(&self, task: OocTask, needed: u64, capacity: u64) {
+        self.rejected.lock().push(RejectedTask {
+            pe: task.pe,
+            chare: task.env.index,
+            entry: task.env.entry,
+            needed,
+            capacity,
+        });
+        self.stats.bump_rejected();
+        // The dropped envelope was counted at send time; balance the
+        // quiescence accounting or the runtime never looks idle.
+        self.rt.note_dropped();
     }
 
     /// Admit a task in degraded mode without attempting a fetch at all
@@ -268,6 +327,8 @@ impl OocHook {
             collector,
             node_level_run_queue: config.node_level_run_queue,
             admission: parking_lot::Mutex::new(()),
+            rejected: parking_lot::Mutex::new(Vec::new()),
+            paused: AtomicBool::new(false),
             checker,
             rt,
         });
@@ -314,6 +375,29 @@ impl OocHook {
         }
     }
 
+    /// Structured records of tasks refused by the admission guard
+    /// (empty unless [`OversizePolicy::Reject`] is configured and an
+    /// oversize task arrived).
+    pub fn rejected_tasks(&self) -> Vec<RejectedTask> {
+        self.shared.rejected.lock().clone()
+    }
+
+    /// Overwrite the hook's counters with a checkpointed snapshot
+    /// (restore path — see `StatCells::adopt`).
+    pub(crate) fn adopt_stats(&self, s: &crate::OocStats) {
+        self.shared.stats.adopt(s);
+    }
+
+    /// Count a written checkpoint of `payload_bytes` block bytes.
+    pub(crate) fn note_checkpoint(&self, payload_bytes: u64) {
+        self.shared.stats.bump_checkpoint(payload_bytes);
+    }
+
+    /// Count a completed restore.
+    pub(crate) fn note_restore(&self) {
+        self.shared.stats.bump_restore();
+    }
+
     /// Stop IO threads and join them. Idempotent. Panicked IO threads
     /// are reported rather than silently discarded.
     pub fn shutdown(&self) {
@@ -332,6 +416,23 @@ impl OocHook {
 impl SchedulerHook for OocHook {
     fn on_intercept(&self, pe: usize, env: Envelope) {
         let task = self.shared.make_task(pe, env);
+        // Admission guard: a task whose declared working set exceeds
+        // HBM capacity can never be fully prefetched — queued, it
+        // would wait forever (no eviction can make enough room).
+        // Detect it here, before it enters any queue, uniformly for
+        // every flavour.
+        let needed = self.shared.dep_bytes(&task);
+        let capacity = self.shared.engine.hbm_task_capacity();
+        if needed > capacity {
+            match self.shared.engine.config().oversize_policy {
+                OversizePolicy::Degrade => {
+                    let tracer = self.shared.worker_tracer(pe);
+                    self.shared.admit_degraded(task, &tracer);
+                }
+                OversizePolicy::Reject => self.shared.reject(task, needed, capacity),
+            }
+            return;
+        }
         match &self.flavour {
             Flavour::Sync => sync_fetch::intercept(&self.shared, task),
             Flavour::Io(pool) => pool.intercept(task),
@@ -369,6 +470,14 @@ impl SchedulerHook for OocHook {
 
     fn pending(&self) -> usize {
         self.shared.stats.snapshot().in_flight() as usize
+    }
+
+    fn on_pause(&self) {
+        self.shared.paused.store(true, Ordering::SeqCst);
+    }
+
+    fn on_resume(&self) {
+        self.shared.paused.store(false, Ordering::SeqCst);
     }
 }
 

@@ -161,6 +161,17 @@ impl Checker {
         }
     }
 
+    /// Record a restart boundary (for the schedule log): a fresh
+    /// runtime is about to restore a checkpoint image, so block ids
+    /// and admission tokens restart from scratch. Call *before* the
+    /// restore re-registers its blocks, so the linter resets its
+    /// replay state ahead of the new `Register` events.
+    pub fn record_restart(&self) {
+        if let Some(rec) = &self.recording {
+            rec.record(ScheduleEvent::Restart);
+        }
+    }
+
     /// Violations recorded so far (empty under
     /// [`ViolationAction::Panic`] unless the panic was caught).
     pub fn violations(&self) -> Vec<Violation> {

@@ -368,6 +368,27 @@ pub fn lint(trace: &Trace) -> LintReport {
                     });
                 }
             }
+            ScheduleEvent::Restart => {
+                // Restart boundary: a fresh runtime restored a
+                // checkpoint image. Block ids restart from 0 with the
+                // re-registrations that follow, and admission tokens
+                // restart from 1 — replay state resets wholesale.
+                // Checkpoints are only taken at quiescence, so an
+                // admission dangling across the boundary is a real
+                // finding, flushed here just like at end-of-trace.
+                let mut dangling: Vec<u64> = admitted.difference(&completed).copied().collect();
+                dangling.sort_unstable();
+                for token in dangling {
+                    report
+                        .findings
+                        .push(LintFinding::TaskNeverCompleted { token });
+                }
+                report.blocks = report.blocks.max(blocks.len());
+                blocks.clear();
+                hbm_bytes = 0;
+                admitted.clear();
+                completed.clear();
+            }
         }
     }
 
@@ -378,7 +399,7 @@ pub fn lint(trace: &Trace) -> LintReport {
             .findings
             .push(LintFinding::TaskNeverCompleted { token });
     }
-    report.blocks = blocks.len();
+    report.blocks = report.blocks.max(blocks.len());
     report
 }
 
@@ -465,6 +486,56 @@ mod tests {
         assert_eq!(report.tasks, 1);
         assert_eq!(report.blocks, 1);
         assert_eq!(report.peak_hbm, 1024);
+    }
+
+    /// Two full runs of the clean schedule separated by a restart: the
+    /// second run re-registers the same block id, re-fills HBM and
+    /// reuses admission token 1 — clean only because the linter resets
+    /// its replay state at the boundary.
+    #[test]
+    fn trace_spanning_a_restart_lints_clean() {
+        let mut trace = clean_trace();
+        let shift = 100;
+        trace.events.push(ev(shift, ScheduleEvent::Restart));
+        let second: Vec<TimedEvent> = clean_trace()
+            .events
+            .into_iter()
+            .map(|e| ev(shift + 1 + e.at_ns, e.event))
+            .collect();
+        trace.events.extend(second);
+        let report = lint(&trace);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.tasks, 2);
+        assert_eq!(report.blocks, 1);
+    }
+
+    #[test]
+    fn admission_dangling_across_a_restart_is_flagged() {
+        let mut trace = clean_trace();
+        // An extra admission with no completion before the restart.
+        trace.events.push(ev(
+            50,
+            ScheduleEvent::Admit {
+                token: 9,
+                blocks: vec![BlockId(0)],
+                degraded: true,
+            },
+        ));
+        trace.events.push(ev(60, ScheduleEvent::Restart));
+        let report = lint(&trace);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, LintFinding::TaskNeverCompleted { token: 9 })));
+    }
+
+    #[test]
+    fn restart_round_trips_through_jsonl() {
+        let mut trace = clean_trace();
+        trace.events.push(ev(99, ScheduleEvent::Restart));
+        let text = trace.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

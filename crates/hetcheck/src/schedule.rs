@@ -78,6 +78,11 @@ pub enum ScheduleEvent {
         /// Admission token.
         token: u64,
     },
+    /// A restart boundary: the process checkpointed (or died) and a
+    /// fresh runtime restored the image. Block ids and admission
+    /// tokens restart from scratch on the far side — the linter resets
+    /// its replay state here so one trace can span kill-and-restore.
+    Restart,
 }
 
 /// A [`ScheduleEvent`] stamped with the runtime clock.

@@ -38,6 +38,33 @@ pub enum MemError {
         /// Block involved, if the operation targeted one.
         block: Option<u64>,
     },
+    /// A filesystem error while writing or reading a checkpoint.
+    CheckpointIo {
+        /// Underlying `std::io::Error` rendered to a string (this enum
+        /// stays `Clone + Eq`).
+        detail: String,
+    },
+    /// A checkpoint file failed structural validation: bad magic,
+    /// truncated sections, or a per-block checksum mismatch. The
+    /// on-disk file is rejected wholesale; nothing is restored.
+    CheckpointCorrupted {
+        /// What failed to validate.
+        detail: String,
+    },
+    /// A checkpoint was written by an incompatible format version.
+    CheckpointVersionMismatch {
+        /// Version recorded in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// A checkpoint or restore could not proceed for an operational
+    /// reason: the runtime failed to quiesce, or restore was attempted
+    /// on a registry that already holds blocks.
+    CheckpointFailed {
+        /// Why the operation was abandoned.
+        detail: String,
+    },
 }
 
 impl MemError {
@@ -69,6 +96,15 @@ impl std::fmt::Display for MemError {
                 Some(id) => write!(f, "transient {op} fault on block {id} (retryable)"),
                 None => write!(f, "transient {op} fault (retryable)"),
             },
+            MemError::CheckpointIo { detail } => write!(f, "checkpoint I/O error: {detail}"),
+            MemError::CheckpointCorrupted { detail } => {
+                write!(f, "checkpoint corrupted: {detail}")
+            }
+            MemError::CheckpointVersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format version {found} is not readable (expected {expected})"
+            ),
+            MemError::CheckpointFailed { detail } => write!(f, "checkpoint failed: {detail}"),
         }
     }
 }
@@ -113,5 +149,29 @@ mod tests {
             available: 0
         }
         .is_transient());
+    }
+
+    #[test]
+    fn checkpoint_messages_are_informative() {
+        let io = MemError::CheckpointIo {
+            detail: "permission denied".into(),
+        };
+        assert!(io.to_string().contains("permission denied"));
+        let bad = MemError::CheckpointCorrupted {
+            detail: "blk3 checksum mismatch".into(),
+        };
+        assert!(bad.to_string().contains("blk3 checksum mismatch"));
+        let ver = MemError::CheckpointVersionMismatch {
+            found: 7,
+            expected: 1,
+        };
+        let s = ver.to_string();
+        assert!(s.contains('7') && s.contains('1'));
+        assert!(!io.is_transient() && !bad.is_transient() && !ver.is_transient());
+        assert!(MemError::CheckpointFailed {
+            detail: "not quiescent".into()
+        }
+        .to_string()
+        .contains("not quiescent"));
     }
 }

@@ -38,6 +38,7 @@
 pub mod alloc;
 pub mod bandwidth;
 pub mod block;
+pub mod checkpoint;
 pub mod clock;
 pub mod error;
 pub mod faults;
@@ -51,6 +52,10 @@ pub use alloc::{AlignedBuf, NodeAllocator};
 pub use bandwidth::{BandwidthRegulator, ChargeOutcome};
 pub use block::{
     AccessGuard, AccessMode, BlockId, BlockInfo, BlockObserver, BlockRegistry, Pod, Residency,
+};
+pub use checkpoint::{
+    read_checkpoint, restore_into, write_checkpoint, BlockRecord, CheckpointImage,
+    CheckpointSummary, RestoreSummary, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use clock::{Clock, MonotonicClock, TimeNs, VirtualClock};
 pub use error::MemError;

@@ -13,6 +13,10 @@
 //!   chare (i,j) accumulates `C[i][j] += A[i][k] · B[k][j]` over k
 //!   steps; A and B blocks are `readonly` dependences shared across
 //!   chares (the paper's node-level nodegroup cache), C is `readwrite`.
+//! * [`restart`] — externally-stepped, checkpointable variants of the
+//!   stencil and matmul drivers: the driver owns the iteration loop,
+//!   quiesces at every boundary, checkpoints every N iterations and
+//!   resumes from a checkpoint with bitwise-identical results.
 //! * [`dgemm`] — the cache-blocked dgemm kernel used by `matmul`
 //!   (stands in for MKL's `cblas_dgemm`, whose internal HBM allocation
 //!   the paper disables anyway).
@@ -23,10 +27,12 @@
 
 pub mod dgemm;
 pub mod matmul;
+pub mod restart;
 pub mod stencil;
 pub mod stream;
 pub mod traffic;
 
 pub use matmul::{MatmulConfig, MatmulReport};
+pub use restart::{RestartableMatmul, RestartableStencil};
 pub use stencil::{StencilConfig, StencilReport};
 pub use stream::{StreamConfig, StreamKernel, StreamReport};

@@ -1,0 +1,639 @@
+//! Restartable, externally-stepped drivers for the two §V workloads.
+//!
+//! The message-driven drivers in [`crate::stencil`] and
+//! [`crate::matmul`] pipeline every iteration's messages through the
+//! runtime at once — there is no instant at which the system is
+//! quiescent until the whole run finishes, so there is nothing a
+//! checkpoint could capture mid-run. The drivers here trade that
+//! pipelining for recoverability: the *driver* owns the iteration loop,
+//! drives the runtime to quiescence at every iteration boundary, and
+//! checkpoints every N iterations
+//! ([`hetrt_core::OocConfig::checkpoint_every`]). A process killed
+//! mid-run resumes from the last checkpoint and produces bitwise
+//! identical results — the iteration boundary is a consistent cut, and
+//! both kernels are deterministic given the block contents at that cut.
+//!
+//! Recovery is exercised end to end by the `crash_recovery` bench
+//! binary, which SIGKILLs a child mid-run and restores in-process.
+
+use crate::dgemm::{dgemm_block, dgemm_traffic_bytes};
+use crate::stencil::{extract_plane, jacobi_update, neighbors_of, StencilConfig};
+use crate::traffic::charge_guard;
+use crate::MatmulConfig;
+use converse::{ArrayId, Chare, CompletionLatch, Dep, EntryId, EntryOptions, ExecCtx, Mapping};
+use hetmem::{AccessMode, BlockId, MemError, Memory};
+use hetrt_core::{IoHandle, OocRuntime};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Entry: one externally-driven step (`entry [prefetch]`).
+pub const EP_STEP: EntryId = EntryId(0);
+
+/// How long a driver waits for one iteration's tasks, ms.
+const STEP_TIMEOUT_MS: u64 = 600_000;
+
+// ---------------------------------------------------------------------
+// Stencil
+// ---------------------------------------------------------------------
+
+/// One stencil step: the halos for this iteration, extracted by the
+/// driver at the (quiescent) iteration boundary.
+pub struct StencilStep {
+    halos: Vec<Option<Vec<f64>>>,
+    latch: Arc<CompletionLatch>,
+}
+
+struct RestartStencilChare {
+    bdims: (usize, usize, usize),
+    compute_passes: usize,
+    block: IoHandle<f64>,
+    mem: Arc<Memory>,
+    scratch: Vec<f64>,
+}
+
+impl Chare for RestartStencilChare {
+    type Msg = StencilStep;
+
+    fn execute(&mut self, entry: EntryId, msg: StencilStep, _ctx: &mut ExecCtx<'_>) {
+        debug_assert_eq!(entry, EP_STEP);
+        let mut guard = self.block.access(AccessMode::ReadWrite);
+        for _ in 0..self.compute_passes {
+            crate::traffic::charge_update_pass(&self.mem, &guard);
+        }
+        jacobi_update(
+            self.bdims,
+            guard.as_mut_slice::<f64>(),
+            &mut self.scratch,
+            &msg.halos,
+        );
+        drop(guard);
+        msg.latch.count_down();
+    }
+
+    fn deps(&self, _entry: EntryId, _msg: &StencilStep) -> Vec<Dep> {
+        vec![self.block.dep(AccessMode::ReadWrite)]
+    }
+}
+
+/// A stencil run the driver steps one iteration at a time, with
+/// checkpoint/resume at iteration boundaries.
+pub struct RestartableStencil {
+    cfg: StencilConfig,
+    ooc: OocRuntime,
+    mem: Arc<Memory>,
+    blocks: Vec<IoHandle<f64>>,
+    neighbors: Vec<Vec<(usize, usize)>>,
+    array: ArrayId,
+}
+
+impl RestartableStencil {
+    /// Start a fresh run: allocate and deterministically initialise the
+    /// blocks (the same initialisation as [`crate::stencil`]'s driver).
+    pub fn new(cfg: StencilConfig) -> Self {
+        let (mem, ooc) = build_runtime(&cfg.topology, &cfg.faults, cfg.pes, cfg.strategy, cfg.ooc);
+        let elems = cfg.block.0 * cfg.block.1 * cfg.block.2;
+        let blocks: Vec<IoHandle<f64>> = (0..cfg.chare_count())
+            .map(|i| {
+                let h = IoHandle::new(
+                    &mem,
+                    elems,
+                    cfg.placement,
+                    cfg.ooc.hbm,
+                    cfg.ooc.ddr,
+                    format!("stencil{i}"),
+                )
+                .expect("stencil block allocation");
+                h.write(|xs| {
+                    for (j, v) in xs.iter_mut().enumerate() {
+                        *v = ((i * 31 + j * 7) % 1000) as f64 / 1000.0;
+                    }
+                });
+                h
+            })
+            .collect();
+        Self::assemble(cfg, mem, ooc, blocks)
+    }
+
+    /// Resume from a checkpoint written by a previous run of the same
+    /// configuration: blocks are restored (ids `0..chare_count` in
+    /// allocation order) and the iteration counter picks up where the
+    /// checkpoint left off.
+    pub fn resume(cfg: StencilConfig, checkpoint: &Path) -> Result<Self, MemError> {
+        let (mem, ooc) = build_runtime(&cfg.topology, &cfg.faults, cfg.pes, cfg.strategy, cfg.ooc);
+        ooc.restore(checkpoint)?;
+        let elems = cfg.block.0 * cfg.block.1 * cfg.block.2;
+        let blocks: Result<Vec<IoHandle<f64>>, MemError> = (0..cfg.chare_count())
+            .map(|i| IoHandle::attach(&mem, BlockId(i as u32), elems))
+            .collect();
+        Ok(Self::assemble(cfg, mem, ooc, blocks?))
+    }
+
+    fn assemble(
+        cfg: StencilConfig,
+        mem: Arc<Memory>,
+        ooc: OocRuntime,
+        blocks: Vec<IoHandle<f64>>,
+    ) -> Self {
+        let (cx, cy, _) = cfg.chares;
+        let neighbors: Vec<Vec<(usize, usize)>> = (0..cfg.chare_count())
+            .map(|i| neighbors_of((i % cx, (i / cx) % cy, i / (cx * cy)), cfg.chares))
+            .collect();
+        let (mem2, blocks2) = (Arc::clone(&mem), blocks.clone());
+        let (bdims, compute_passes) = (cfg.block, cfg.compute_passes);
+        let elems = cfg.block.0 * cfg.block.1 * cfg.block.2;
+        let array = ooc
+            .runtime()
+            .array_builder::<RestartStencilChare>()
+            .entry(EP_STEP, EntryOptions::prefetch())
+            .mapping(Mapping::Block)
+            .build(cfg.chare_count(), move |i| RestartStencilChare {
+                bdims,
+                compute_passes,
+                block: blocks2[i].clone(),
+                mem: Arc::clone(&mem2),
+                scratch: Vec::with_capacity(elems),
+            });
+        Self {
+            cfg,
+            ooc,
+            mem,
+            blocks,
+            neighbors,
+            array,
+        }
+    }
+
+    /// The underlying runtime (iteration counter, stats, checkpoint).
+    pub fn ooc(&self) -> &OocRuntime {
+        &self.ooc
+    }
+
+    /// Iterations completed so far.
+    pub fn completed_iterations(&self) -> u64 {
+        self.ooc.iteration()
+    }
+
+    /// Run one iteration: extract every chare's halos at the quiescent
+    /// boundary, fan the step out, wait for completion and quiescence.
+    pub fn step(&self) {
+        let n = self.cfg.chare_count();
+        let contents: Vec<Vec<f64>> = self
+            .blocks
+            .iter()
+            .map(|b| b.read(<[f64]>::to_vec))
+            .collect();
+        let latch = Arc::new(CompletionLatch::new(n));
+        let rt = self.ooc.runtime();
+        for i in 0..n {
+            let mut halos: Vec<Option<Vec<f64>>> = vec![None; 6];
+            for &(face, nbr) in &self.neighbors[i] {
+                // My `face` halo is the neighbour's opposite boundary.
+                halos[face] = Some(extract_plane(face ^ 1, self.cfg.block, &contents[nbr]));
+            }
+            rt.send(
+                self.array,
+                i,
+                EP_STEP,
+                StencilStep {
+                    halos,
+                    latch: Arc::clone(&latch),
+                },
+            );
+        }
+        assert!(
+            latch.wait_timeout_ms(STEP_TIMEOUT_MS),
+            "stencil step did not complete"
+        );
+        assert!(self.ooc.wait_quiescence_ms(60_000), "step not quiescent");
+        self.ooc.set_iteration(self.ooc.iteration() + 1);
+    }
+
+    /// Step to `cfg.iterations`, checkpointing to `checkpoint` whenever
+    /// the periodic policy fires (never, if `checkpoint` is `None` or
+    /// [`hetrt_core::OocConfig::checkpoint_every`] is 0).
+    pub fn run(&self, checkpoint: Option<&Path>) -> Result<(), MemError> {
+        while self.ooc.iteration() < self.cfg.iterations as u64 {
+            self.step();
+            if let Some(path) = checkpoint {
+                if self.ooc.should_checkpoint(self.ooc.iteration()) {
+                    self.ooc.checkpoint(path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full per-block contents (bitwise comparison across restarts).
+    pub fn block_contents(&self) -> Vec<Vec<f64>> {
+        self.blocks
+            .iter()
+            .map(|b| b.read(<[f64]>::to_vec))
+            .collect()
+    }
+
+    /// Stop the runtime. Also runs on drop.
+    pub fn shutdown(&self) {
+        self.ooc.shutdown();
+    }
+
+    /// The memory subsystem (fault-injection control in chaos tests).
+    pub fn memory(&self) -> &Arc<Memory> {
+        &self.mem
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matmul
+// ---------------------------------------------------------------------
+
+/// One matmul step: accumulate `C[i][j] += A[i][k]·B[k][j]` for the
+/// driver-chosen `k`.
+pub struct MatmulStep {
+    k: usize,
+    latch: Arc<CompletionLatch>,
+}
+
+struct RestartMatmulChare {
+    block: usize,
+    compute_passes: usize,
+    a_row: Vec<IoHandle<f64>>,
+    b_col: Vec<IoHandle<f64>>,
+    c: IoHandle<f64>,
+    mem: Arc<Memory>,
+}
+
+impl Chare for RestartMatmulChare {
+    type Msg = MatmulStep;
+
+    fn execute(&mut self, entry: EntryId, msg: MatmulStep, _ctx: &mut ExecCtx<'_>) {
+        debug_assert_eq!(entry, EP_STEP);
+        let n = self.block;
+        let passes = self.compute_passes as u64;
+        let block_bytes = (n * n * 8) as u64;
+        let mut gc = self.c.access(AccessMode::ReadWrite);
+        let ga = self.a_row[msg.k].access(AccessMode::ReadOnly);
+        let gb = self.b_col[msg.k].access(AccessMode::ReadOnly);
+        let (_reads, writes) = dgemm_traffic_bytes(n);
+        charge_guard(&self.mem, &ga, passes * block_bytes, 0);
+        charge_guard(&self.mem, &gb, passes * block_bytes, 0);
+        charge_guard(&self.mem, &gc, passes * block_bytes, passes * writes);
+        dgemm_block(
+            n,
+            ga.as_slice::<f64>(),
+            gb.as_slice::<f64>(),
+            gc.as_mut_slice::<f64>(),
+        );
+        drop(ga);
+        drop(gb);
+        drop(gc);
+        msg.latch.count_down();
+    }
+
+    fn deps(&self, _entry: EntryId, msg: &MatmulStep) -> Vec<Dep> {
+        vec![
+            self.a_row[msg.k].dep(AccessMode::ReadOnly),
+            self.b_col[msg.k].dep(AccessMode::ReadOnly),
+            self.c.dep(AccessMode::ReadWrite),
+        ]
+    }
+}
+
+/// A matmul run stepped one `k` at a time: iteration `k` accumulates
+/// the `A[·][k]·B[k][·]` rank-update into every C block, so after
+/// `grid` iterations C holds the full product. Checkpoints capture A,
+/// B and the partially accumulated C.
+pub struct RestartableMatmul {
+    cfg: MatmulConfig,
+    ooc: OocRuntime,
+    mem: Arc<Memory>,
+    c: Vec<IoHandle<f64>>,
+    array: ArrayId,
+}
+
+impl RestartableMatmul {
+    /// Start a fresh run with the same deterministic A/B initialisers
+    /// as [`crate::matmul::run_matmul`]; C starts at zero.
+    pub fn new(cfg: MatmulConfig) -> Self {
+        let (mem, ooc) = build_runtime(&cfg.topology, &cfg.faults, cfg.pes, cfg.strategy, cfg.ooc);
+        let g = cfg.grid;
+        let bs = cfg.block;
+        let make = |name: &str, init: &dyn Fn(usize, usize) -> f64| -> Vec<IoHandle<f64>> {
+            (0..g * g)
+                .map(|idx| {
+                    let (bi, bj) = (idx / g, idx % g);
+                    let h: IoHandle<f64> = IoHandle::new(
+                        &mem,
+                        bs * bs,
+                        cfg.placement,
+                        cfg.ooc.hbm,
+                        cfg.ooc.ddr,
+                        format!("{name}[{bi}][{bj}]"),
+                    )
+                    .expect("matrix block allocation");
+                    h.write(|xs| {
+                        for r in 0..bs {
+                            for c in 0..bs {
+                                xs[r * bs + c] = init(bi * bs + r, bj * bs + c);
+                            }
+                        }
+                    });
+                    h
+                })
+                .collect()
+        };
+        let a = make("A", &|r, c| ((r * 13 + c * 7) % 10) as f64 / 10.0);
+        let b = make("B", &|r, c| ((r * 3 + c * 11) % 10) as f64 / 10.0);
+        let c = make("C", &|_, _| 0.0);
+        Self::assemble(cfg, mem, ooc, a, b, c)
+    }
+
+    /// Resume from a checkpoint of the same configuration. Block ids
+    /// follow allocation order: A row-major, then B, then C.
+    pub fn resume(cfg: MatmulConfig, checkpoint: &Path) -> Result<Self, MemError> {
+        let (mem, ooc) = build_runtime(&cfg.topology, &cfg.faults, cfg.pes, cfg.strategy, cfg.ooc);
+        ooc.restore(checkpoint)?;
+        let g = cfg.grid;
+        let elems = cfg.block * cfg.block;
+        let attach = |base: usize| -> Result<Vec<IoHandle<f64>>, MemError> {
+            (0..g * g)
+                .map(|idx| IoHandle::attach(&mem, BlockId((base + idx) as u32), elems))
+                .collect()
+        };
+        let a = attach(0)?;
+        let b = attach(g * g)?;
+        let c = attach(2 * g * g)?;
+        Ok(Self::assemble(cfg, mem, ooc, a, b, c))
+    }
+
+    fn assemble(
+        cfg: MatmulConfig,
+        mem: Arc<Memory>,
+        ooc: OocRuntime,
+        a: Vec<IoHandle<f64>>,
+        b: Vec<IoHandle<f64>>,
+        c: Vec<IoHandle<f64>>,
+    ) -> Self {
+        let g = cfg.grid;
+        let (mem2, c2) = (Arc::clone(&mem), c.clone());
+        let (block, compute_passes) = (cfg.block, cfg.compute_passes);
+        let array = ooc
+            .runtime()
+            .array_builder::<RestartMatmulChare>()
+            .entry(EP_STEP, EntryOptions::prefetch())
+            .mapping(Mapping::RoundRobin)
+            .build(g * g, move |idx| {
+                let (i, j) = (idx / g, idx % g);
+                RestartMatmulChare {
+                    block,
+                    compute_passes,
+                    a_row: (0..g).map(|k| a[i * g + k].clone()).collect(),
+                    b_col: (0..g).map(|k| b[k * g + j].clone()).collect(),
+                    c: c2[idx].clone(),
+                    mem: Arc::clone(&mem2),
+                }
+            });
+        Self {
+            cfg,
+            ooc,
+            mem,
+            c,
+            array,
+        }
+    }
+
+    /// The underlying runtime.
+    pub fn ooc(&self) -> &OocRuntime {
+        &self.ooc
+    }
+
+    /// k-steps completed so far.
+    pub fn completed_iterations(&self) -> u64 {
+        self.ooc.iteration()
+    }
+
+    /// Run one k-step across the whole chare grid.
+    pub fn step(&self) {
+        let k = self.ooc.iteration() as usize;
+        assert!(k < self.cfg.grid, "all k-steps already done");
+        let n = self.cfg.grid * self.cfg.grid;
+        let latch = Arc::new(CompletionLatch::new(n));
+        let rt = self.ooc.runtime();
+        for idx in 0..n {
+            rt.send(
+                self.array,
+                idx,
+                EP_STEP,
+                MatmulStep {
+                    k,
+                    latch: Arc::clone(&latch),
+                },
+            );
+        }
+        assert!(
+            latch.wait_timeout_ms(STEP_TIMEOUT_MS),
+            "matmul step did not complete"
+        );
+        assert!(self.ooc.wait_quiescence_ms(60_000), "step not quiescent");
+        self.ooc.set_iteration(k as u64 + 1);
+    }
+
+    /// Step through all `grid` k-steps, checkpointing per the periodic
+    /// policy.
+    pub fn run(&self, checkpoint: Option<&Path>) -> Result<(), MemError> {
+        while self.ooc.iteration() < self.cfg.grid as u64 {
+            self.step();
+            if let Some(path) = checkpoint {
+                if self.ooc.should_checkpoint(self.ooc.iteration()) {
+                    self.ooc.checkpoint(path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full C contents, block row-major (bitwise comparison).
+    pub fn c_contents(&self) -> Vec<Vec<f64>> {
+        self.c.iter().map(|h| h.read(<[f64]>::to_vec)).collect()
+    }
+
+    /// Sum over all C entries.
+    pub fn checksum(&self) -> f64 {
+        self.c
+            .iter()
+            .map(|h| h.read(|xs| xs.iter().sum::<f64>()))
+            .sum()
+    }
+
+    /// Stop the runtime. Also runs on drop.
+    pub fn shutdown(&self) {
+        self.ooc.shutdown();
+    }
+
+    /// The memory subsystem.
+    pub fn memory(&self) -> &Arc<Memory> {
+        &self.mem
+    }
+}
+
+fn build_runtime(
+    topology: &hetmem::Topology,
+    faults: &Option<Arc<dyn hetmem::FaultInjector>>,
+    pes: usize,
+    strategy: hetrt_core::StrategyKind,
+    ooc: hetrt_core::OocConfig,
+) -> (Arc<Memory>, OocRuntime) {
+    let mem = match faults {
+        Some(f) => Memory::with_faults(topology.clone(), Arc::clone(f)),
+        None => Memory::new(topology.clone()),
+    };
+    let rt = OocRuntime::new(Arc::clone(&mem), pes, strategy, ooc);
+    (mem, rt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::run_stencil_blocks;
+    use hetrt_core::{OocConfig, Placement, StrategyKind};
+    use std::path::PathBuf;
+
+    fn ckpt(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kernels-restart-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{name}-{}.ckpt", std::process::id()))
+    }
+
+    fn stencil_cfg() -> StencilConfig {
+        StencilConfig {
+            iterations: 6,
+            strategy: StrategyKind::single_io(),
+            placement: Placement::DdrOnly,
+            ..StencilConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn restartable_stencil_matches_the_message_driven_driver() {
+        let cfg = stencil_cfg();
+        let reference = run_stencil_blocks(&cfg);
+        let driver = RestartableStencil::new(cfg);
+        driver.run(None).unwrap();
+        assert_eq!(driver.block_contents(), reference, "lock-step vs async");
+        driver.shutdown();
+    }
+
+    #[test]
+    fn stencil_restored_mid_run_finishes_bitwise_identical() {
+        let path = ckpt("stencil-midrun");
+        let cfg = StencilConfig {
+            ooc: OocConfig {
+                checkpoint_every: 2,
+                ..OocConfig::default()
+            },
+            ..stencil_cfg()
+        };
+
+        // Uninterrupted reference run (no checkpointing at all).
+        let reference = RestartableStencil::new(stencil_cfg());
+        reference.run(None).unwrap();
+        let want = reference.block_contents();
+        reference.shutdown();
+
+        // "Crashing" run: checkpoint every 2 iterations, abandon after 3
+        // (the last checkpoint covers iterations 1-2).
+        let crashed = RestartableStencil::new(cfg.clone());
+        for _ in 0..3 {
+            crashed.step();
+            if crashed
+                .ooc()
+                .should_checkpoint(crashed.completed_iterations())
+            {
+                crashed.ooc().checkpoint(&path).unwrap();
+            }
+        }
+        crashed.shutdown();
+        drop(crashed);
+
+        // Resume from the checkpoint and run to completion.
+        let resumed = RestartableStencil::resume(cfg, &path).unwrap();
+        assert_eq!(resumed.completed_iterations(), 2);
+        resumed.run(Some(&path)).unwrap();
+        assert_eq!(resumed.completed_iterations(), 6);
+        assert_eq!(
+            resumed.block_contents(),
+            want,
+            "restart must be bitwise exact"
+        );
+        assert!(resumed.ooc().stats().restores >= 1);
+        resumed.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restartable_matmul_matches_reference_product() {
+        let cfg = MatmulConfig {
+            strategy: StrategyKind::SyncFetch,
+            placement: Placement::DdrOnly,
+            ..MatmulConfig::tiny()
+        };
+        let n = cfg.n();
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * n + c] = ((r * 13 + c * 7) % 10) as f64 / 10.0;
+                b[r * n + c] = ((r * 3 + c * 11) % 10) as f64 / 10.0;
+            }
+        }
+        let mut cref = vec![0.0; n * n];
+        crate::dgemm::dgemm_naive(n, &a, &b, &mut cref);
+        let want: f64 = cref.iter().sum();
+
+        let driver = RestartableMatmul::new(cfg);
+        driver.run(None).unwrap();
+        let got = driver.checksum();
+        assert!(
+            (got - want).abs() < 1e-6 * want.abs().max(1.0),
+            "checksum {got} != reference {want}"
+        );
+        driver.shutdown();
+    }
+
+    #[test]
+    fn matmul_restored_mid_run_finishes_bitwise_identical() {
+        let path = ckpt("matmul-midrun");
+        let base = MatmulConfig {
+            grid: 3,
+            block: 8,
+            strategy: StrategyKind::single_io(),
+            placement: Placement::DdrOnly,
+            ..MatmulConfig::tiny()
+        };
+        let cfg = MatmulConfig {
+            ooc: OocConfig {
+                checkpoint_every: 1,
+                ..OocConfig::default()
+            },
+            ..base.clone()
+        };
+
+        let reference = RestartableMatmul::new(base);
+        reference.run(None).unwrap();
+        let want = reference.c_contents();
+        reference.shutdown();
+
+        let crashed = RestartableMatmul::new(cfg.clone());
+        crashed.step();
+        crashed.ooc().checkpoint(&path).unwrap();
+        crashed.step(); // work past the checkpoint is lost with the "crash"
+        crashed.shutdown();
+        drop(crashed);
+
+        let resumed = RestartableMatmul::resume(cfg, &path).unwrap();
+        assert_eq!(resumed.completed_iterations(), 1);
+        resumed.run(None).unwrap();
+        assert_eq!(resumed.c_contents(), want, "restart must be bitwise exact");
+        resumed.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -155,7 +155,10 @@ struct StencilChare {
 }
 
 /// Face order: 0:-x 1:+x 2:-y 3:+y 4:-z 5:+z. `face ^ 1` is opposite.
-fn neighbors_of(coord: (usize, usize, usize), dims: (usize, usize, usize)) -> Vec<(usize, usize)> {
+pub(crate) fn neighbors_of(
+    coord: (usize, usize, usize),
+    dims: (usize, usize, usize),
+) -> Vec<(usize, usize)> {
     let (x, y, z) = coord;
     let (cx, cy, cz) = dims;
     let idx = |x: usize, y: usize, z: usize| (z * cy + y) * cx + x;
@@ -181,7 +184,7 @@ fn neighbors_of(coord: (usize, usize, usize), dims: (usize, usize, usize)) -> Ve
     out
 }
 
-fn plane_len(face: usize, (bx, by, bz): (usize, usize, usize)) -> usize {
+pub(crate) fn plane_len(face: usize, (bx, by, bz): (usize, usize, usize)) -> usize {
     match face / 2 {
         0 => by * bz,
         1 => bx * bz,
@@ -190,7 +193,7 @@ fn plane_len(face: usize, (bx, by, bz): (usize, usize, usize)) -> usize {
 }
 
 /// Extract the boundary plane of `block` facing `face`.
-fn extract_plane(face: usize, dims: (usize, usize, usize), block: &[f64]) -> Vec<f64> {
+pub(crate) fn extract_plane(face: usize, dims: (usize, usize, usize), block: &[f64]) -> Vec<f64> {
     let (bx, by, bz) = dims;
     let at = |x: usize, y: usize, z: usize| block[(z * by + y) * bx + x];
     let mut out = Vec::with_capacity(plane_len(face, dims));
@@ -225,7 +228,7 @@ fn extract_plane(face: usize, dims: (usize, usize, usize), block: &[f64]) -> Vec
 
 /// 7-point Jacobi update of `block` given optional halo planes per
 /// face; missing halos (domain boundary) reuse the cell's own value.
-fn jacobi_update(
+pub(crate) fn jacobi_update(
     dims: (usize, usize, usize),
     block: &mut [f64],
     scratch: &mut Vec<f64>,

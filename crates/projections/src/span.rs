@@ -34,11 +34,16 @@ pub enum SpanKind {
     /// Degraded-mode admission: a task gave up on HBM (retry budget
     /// exhausted, or drained by the stall watchdog) and ran from DDR4.
     Degraded,
+    /// Quiescence-coordinated checkpoint: snapshotting block state to
+    /// disk while the schedulers are paused.
+    Checkpoint,
+    /// Restoring block state and runtime counters from a checkpoint.
+    Restore,
 }
 
 impl SpanKind {
     /// All kinds, in display order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::Compute,
         SpanKind::Entry,
         SpanKind::Preprocess,
@@ -49,6 +54,8 @@ impl SpanKind {
         SpanKind::BlockWait,
         SpanKind::Idle,
         SpanKind::Degraded,
+        SpanKind::Checkpoint,
+        SpanKind::Restore,
     ];
 
     /// True for the "red" categories of the paper's Figure 5: time that
@@ -63,6 +70,8 @@ impl SpanKind {
                 | SpanKind::QueueWait
                 | SpanKind::BlockWait
                 | SpanKind::Degraded
+                | SpanKind::Checkpoint
+                | SpanKind::Restore
         )
     }
 
@@ -79,6 +88,8 @@ impl SpanKind {
             SpanKind::BlockWait => "bwait",
             SpanKind::Idle => "idle",
             SpanKind::Degraded => "degraded",
+            SpanKind::Checkpoint => "ckpt",
+            SpanKind::Restore => "restore",
         }
     }
 
@@ -95,6 +106,8 @@ impl SpanKind {
             SpanKind::BlockWait => 'b',
             SpanKind::Idle => '.',
             SpanKind::Degraded => 'D',
+            SpanKind::Checkpoint => 'C',
+            SpanKind::Restore => 'R',
         }
     }
 }
@@ -185,6 +198,8 @@ mod tests {
             SpanKind::Preprocess,
             SpanKind::Postprocess,
             SpanKind::Degraded,
+            SpanKind::Checkpoint,
+            SpanKind::Restore,
         ] {
             assert!(k.is_overhead(), "{k} should be overhead");
         }
